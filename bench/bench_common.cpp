@@ -1,0 +1,15 @@
+#include "bench_common.hpp"
+
+namespace distapx::bench {
+
+void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n"
+            << "paper claim: " << claim << "\n\n";
+}
+
+double ratio(double opt, double got) {
+  if (got <= 0) return opt <= 0 ? 1.0 : 0.0;
+  return opt / got;
+}
+
+}  // namespace distapx::bench

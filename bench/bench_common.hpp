@@ -1,0 +1,32 @@
+// Shared utilities for the benchmark harness.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace distapx::bench {
+
+/// Prints a section banner for one experiment.
+void banner(const std::string& experiment, const std::string& claim);
+
+/// mean of `reps` samples produced by `fn(seed)`.
+template <typename Fn>
+Summary sample(int reps, std::uint64_t base_seed, Fn&& fn) {
+  Summary s;
+  for (int r = 0; r < reps; ++r) {
+    s.add(fn(hash_combine(base_seed, static_cast<std::uint64_t>(r))));
+  }
+  return s;
+}
+
+/// OPT/ALG ratio guard against divide-by-zero.
+double ratio(double opt, double got);
+
+}  // namespace distapx::bench

@@ -1,0 +1,96 @@
+// E10 — substrate micro-benchmarks (google-benchmark): generator and
+// simulator throughput, so regressions in the platform underneath the
+// experiments are visible.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/line_graph.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "mis/luby.hpp"
+#include "sim/aggregation.hpp"
+#include "support/random.hpp"
+
+namespace distapx {
+namespace {
+
+void BM_GnpGeneration(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::gnp(n, 8.0 / n, rng));
+  }
+}
+BENCHMARK(BM_GnpGeneration)->Arg(1024)->Arg(8192);
+
+void BM_RandomRegular(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::random_regular(n, 8, rng));
+  }
+}
+BENCHMARK(BM_RandomRegular)->Arg(1024)->Arg(4096);
+
+void BM_LineGraphConstruction(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = gen::gnp(static_cast<NodeId>(state.range(0)), 0.02, rng);
+  for (auto _ : state) {
+    LineGraph lg(g);
+    benchmark::DoNotOptimize(lg.graph().num_edges());
+  }
+}
+BENCHMARK(BM_LineGraphConstruction)->Arg(512)->Arg(1024);
+
+void BM_LubyMis(benchmark::State& state) {
+  Rng rng(4);
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::gnp(n, 8.0 / n, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_luby_mis(g, ++seed));
+  }
+}
+BENCHMARK(BM_LubyMis)->Arg(1024)->Arg(4096);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::bipartite_gnp(n, n, 6.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hopcroft_karp(g));
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(512)->Arg(2048);
+
+/// Cost of one aggregation super-round on the line graph (the Thm 2.8
+/// mechanism, no explicit line graph).
+class NoopAgg final : public sim::AggProgram {
+ public:
+  std::vector<int> state_bits() const override { return {8}; }
+  std::vector<sim::Aggregator> aggregators() const override {
+    return {sim::agg_sum(
+        [](std::span<const std::uint64_t> s) { return s[0]; }, 24)};
+  }
+  void init(sim::AggCtx& ctx) override { ctx.state()[0] = 1; }
+  void round(sim::AggCtx& ctx) override {
+    if (ctx.round() >= 16) ctx.halt(0);
+  }
+};
+
+void BM_LineAggregationRounds(benchmark::State& state) {
+  Rng rng(6);
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = gen::gnp(n, 8.0 / n, rng);
+  for (auto _ : state) {
+    NoopAgg prog;
+    sim::RunOptions opts;
+    opts.policy = sim::BandwidthPolicy::local();
+    benchmark::DoNotOptimize(sim::run_on_line_graph(g, prog, opts));
+  }
+}
+BENCHMARK(BM_LineAggregationRounds)->Arg(512)->Arg(2048);
+
+}  // namespace
+}  // namespace distapx
+
+BENCHMARK_MAIN();

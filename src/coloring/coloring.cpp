@@ -1,0 +1,35 @@
+#include "coloring/coloring.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+
+bool is_proper_coloring(const Graph& g, const std::vector<Color>& colors) {
+  if (colors.size() != g.num_nodes()) return false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (colors[u] == colors[v]) return false;
+  }
+  return true;
+}
+
+std::vector<Color> greedy_coloring(const Graph& g) {
+  std::vector<Color> colors(g.num_nodes(), kInvalidNode);
+  std::vector<bool> used;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    used.assign(g.degree(v) + 1, false);
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (he.to < v && colors[he.to] <= g.degree(v)) {
+        used[colors[he.to]] = true;
+      }
+    }
+    Color c = 0;
+    while (used[c]) ++c;
+    colors[v] = c;
+  }
+  return colors;
+}
+
+}  // namespace distapx

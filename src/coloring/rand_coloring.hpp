@@ -1,0 +1,16 @@
+// Randomized (Δ+1)-coloring in O(log n) rounds w.h.p.
+//
+// The classic trial-color algorithm: every uncolored node draws a uniform
+// candidate from its remaining palette ([0, deg(v)] minus colors finalized
+// by neighbors) and keeps it if no uncolored neighbor drew the same color.
+// Used as the faster randomized coloring black box for Algorithm 3.
+#pragma once
+
+#include "coloring/coloring.hpp"
+
+namespace distapx {
+
+ColoringResult randomized_coloring(const Graph& g, std::uint64_t seed,
+                                   std::uint32_t max_rounds = 1u << 20);
+
+}  // namespace distapx

@@ -1,0 +1,236 @@
+#include "graph/algos.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  DISTAPX_ENSURE(source < g.num_nodes());
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (dist[he.to] == kUnreachable) {
+        dist[he.to] = dist[v] + 1;
+        queue.push_back(he.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  std::vector<std::uint32_t> comp(g.num_nodes(), kUnreachable);
+  std::uint32_t next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (comp[root] != kUnreachable) continue;
+    comp[root] = next;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const HalfEdge& he : g.neighbors(v)) {
+        if (comp[he.to] == kUnreachable) {
+          comp[he.to] = next;
+          queue.push_back(he.to);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::vector<NodeId> degeneracy_order(const Graph& g,
+                                     std::uint32_t* out_degeneracy) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Bucket queue by current degree.
+  std::vector<std::vector<NodeId>> buckets(max_deg + 1);
+  for (NodeId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::uint32_t degeneracy = 0;
+  std::uint32_t cur = 0;
+  while (order.size() < n) {
+    while (cur <= max_deg && buckets[cur].empty()) ++cur;
+    // Degrees only decrease, but removals may leave stale entries; also a
+    // neighbor removal can drop a bucket below `cur`.
+    if (cur > 0 && !buckets[cur - 1].empty()) --cur;
+    DISTAPX_ASSERT(cur <= max_deg);
+    const NodeId v = buckets[cur].back();
+    buckets[cur].pop_back();
+    if (removed[v] || deg[v] != cur) continue;  // stale entry
+    removed[v] = true;
+    order.push_back(v);
+    degeneracy = std::max(degeneracy, cur);
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (!removed[he.to]) {
+        buckets[--deg[he.to]].push_back(he.to);
+      }
+    }
+  }
+  if (out_degeneracy != nullptr) *out_degeneracy = degeneracy;
+  return order;
+}
+
+bool is_independent_set(const Graph& g, const std::vector<NodeId>& set) {
+  std::vector<bool> in(g.num_nodes(), false);
+  for (NodeId v : set) {
+    if (v >= g.num_nodes() || in[v]) return false;
+    in[v] = true;
+  }
+  for (NodeId v : set) {
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (in[he.to]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<NodeId>& set) {
+  if (!is_independent_set(g, set)) return false;
+  std::vector<bool> in(g.num_nodes(), false);
+  for (NodeId v : set) in[v] = true;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in[v]) continue;
+    bool covered = false;
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (in[he.to]) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool is_matching(const Graph& g, const std::vector<EdgeId>& matching) {
+  std::vector<bool> used(g.num_nodes(), false);
+  std::vector<bool> seen(g.num_edges(), false);
+  for (EdgeId e : matching) {
+    if (e >= g.num_edges() || seen[e]) return false;
+    seen[e] = true;
+    const auto [u, v] = g.endpoints(e);
+    if (used[u] || used[v]) return false;
+    used[u] = used[v] = true;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g, const std::vector<EdgeId>& matching) {
+  if (!is_matching(g, matching)) return false;
+  std::vector<bool> used(g.num_nodes(), false);
+  for (EdgeId e : matching) {
+    const auto [u, v] = g.endpoints(e);
+    used[u] = used[v] = true;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (!used[u] && !used[v]) return false;
+  }
+  return true;
+}
+
+bool is_vertex_cover(const Graph& g, const std::vector<NodeId>& cover) {
+  std::vector<bool> in(g.num_nodes(), false);
+  for (NodeId v : cover) {
+    if (v >= g.num_nodes()) return false;
+    in[v] = true;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (!in[u] && !in[v]) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> complement_nodes(const Graph& g,
+                                     const std::vector<NodeId>& set) {
+  std::vector<bool> in(g.num_nodes(), false);
+  for (NodeId v : set) {
+    DISTAPX_ENSURE(v < g.num_nodes());
+    in[v] = true;
+  }
+  std::vector<NodeId> out;
+  out.reserve(g.num_nodes() - set.size());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!in[v]) out.push_back(v);
+  }
+  return out;
+}
+
+Weight set_weight(const NodeWeights& w, const std::vector<NodeId>& set) {
+  Weight total = 0;
+  for (NodeId v : set) {
+    DISTAPX_ENSURE(v < w.size());
+    total += w[v];
+  }
+  return total;
+}
+
+Weight matching_weight(const EdgeWeights& w,
+                       const std::vector<EdgeId>& matching) {
+  Weight total = 0;
+  for (EdgeId e : matching) {
+    DISTAPX_ENSURE(e < w.size());
+    total += w[e];
+  }
+  return total;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<bool>& keep_nodes) {
+  DISTAPX_ENSURE(keep_nodes.size() == g.num_nodes());
+  InducedSubgraph out;
+  out.new_id.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (keep_nodes[v]) {
+      out.new_id[v] = static_cast<NodeId>(out.original_id.size());
+      out.original_id.push_back(v);
+    }
+  }
+  GraphBuilder b(static_cast<NodeId>(out.original_id.size()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (keep_nodes[u] && keep_nodes[v]) {
+      b.add_edge(out.new_id[u], out.new_id[v]);
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+EdgeSubgraph edge_subgraph(const Graph& g, const std::vector<bool>& edge_mask) {
+  DISTAPX_ENSURE(edge_mask.size() == g.num_edges());
+  EdgeSubgraph out;
+  GraphBuilder b(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (edge_mask[e]) {
+      const auto [u, v] = g.endpoints(e);
+      b.add_edge(u, v);
+      out.original_edge.push_back(e);
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+}  // namespace distapx

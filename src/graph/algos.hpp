@@ -1,0 +1,72 @@
+// Classic sequential graph algorithms used as utilities and verifiers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace distapx {
+
+/// BFS hop distances from `source` (kUnreachable where disconnected).
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Connected component id per node (ids are dense, ordered by discovery).
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+/// Degeneracy ordering (repeatedly remove a minimum-degree node).
+/// Returns the removal order; `out_degeneracy` (optional) receives the
+/// degeneracy number.
+std::vector<NodeId> degeneracy_order(const Graph& g,
+                                     std::uint32_t* out_degeneracy = nullptr);
+
+/// True iff `set` is an independent set of g (also checks no duplicates).
+bool is_independent_set(const Graph& g, const std::vector<NodeId>& set);
+
+/// True iff no node in g has all of: membership in `set` excluded AND no
+/// neighbor in `set` (i.e. `set` is a *maximal* independent set).
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<NodeId>& set);
+
+/// True iff `matching` (edge ids) has no two edges sharing an endpoint.
+bool is_matching(const Graph& g, const std::vector<EdgeId>& matching);
+
+/// True iff `matching` is maximal: every edge of g has an endpoint matched.
+bool is_maximal_matching(const Graph& g, const std::vector<EdgeId>& matching);
+
+/// True iff every edge of g has at least one endpoint in `cover`.
+bool is_vertex_cover(const Graph& g, const std::vector<NodeId>& cover);
+
+/// Complement of a node set. If `set` is a *maximal* independent set the
+/// result is a vertex cover (and for bipartite graphs a minimum one by
+/// König when the IS is maximum).
+std::vector<NodeId> complement_nodes(const Graph& g,
+                                     const std::vector<NodeId>& set);
+
+/// Sum of node weights over `set`.
+Weight set_weight(const NodeWeights& w, const std::vector<NodeId>& set);
+
+/// Sum of edge weights over `matching`.
+Weight matching_weight(const EdgeWeights& w,
+                       const std::vector<EdgeId>& matching);
+
+/// Subgraph induced by `keep_nodes` (mask). Returns the new graph and the
+/// old-id per new node.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> original_id;       // new -> old
+  std::vector<NodeId> new_id;            // old -> new (kInvalidNode if gone)
+};
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<bool>& keep_nodes);
+
+/// Subgraph of g keeping only edges where mask[e] is true (all nodes kept,
+/// edge ids renumbered; mapping returned as new-edge -> old-edge).
+struct EdgeSubgraph {
+  Graph graph;
+  std::vector<EdgeId> original_edge;  // new edge id -> old edge id
+};
+EdgeSubgraph edge_subgraph(const Graph& g, const std::vector<bool>& edge_mask);
+
+}  // namespace distapx

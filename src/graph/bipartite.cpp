@@ -1,0 +1,55 @@
+#include "graph/bipartite.hpp"
+
+#include <deque>
+
+namespace distapx {
+
+std::optional<Bipartition> try_bipartition(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::int8_t> color(n, -1);
+  Bipartition parts;
+  parts.side.assign(n, Side::kLeft);
+  std::deque<NodeId> queue;
+  for (NodeId root = 0; root < n; ++root) {
+    if (color[root] != -1) continue;
+    color[root] = 0;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const HalfEdge& he : g.neighbors(v)) {
+        if (color[he.to] == -1) {
+          color[he.to] = static_cast<std::int8_t>(1 - color[v]);
+          queue.push_back(he.to);
+        } else if (color[he.to] == color[v]) {
+          return std::nullopt;  // odd cycle
+        }
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    parts.side[v] = color[v] == 0 ? Side::kLeft : Side::kRight;
+  }
+  return parts;
+}
+
+Bipartition random_bipartition(NodeId n, Rng& rng) {
+  Bipartition parts;
+  parts.side.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    parts.side[v] = rng.bernoulli(0.5) ? Side::kLeft : Side::kRight;
+  }
+  return parts;
+}
+
+std::vector<bool> bichromatic_edge_mask(const Graph& g,
+                                        const Bipartition& parts) {
+  std::vector<bool> mask(g.num_edges(), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    mask[e] = parts.side[u] != parts.side[v];
+  }
+  return mask;
+}
+
+}  // namespace distapx

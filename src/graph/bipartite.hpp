@@ -1,0 +1,40 @@
+// Bipartite structure: detection, views and random bipartitions.
+//
+// Appendix B of the paper runs its augmenting-path machinery on bipartite
+// graphs and reduces general graphs to random bipartite subgraphs (random
+// red/blue node coloring, keeping bi-chromatic edges; Thm B.12, Lemma B.14).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace distapx {
+
+/// Which side of a bipartition a node is on.
+enum class Side : std::uint8_t { kLeft, kRight };
+
+/// A two-coloring of (a subset of) a graph's nodes.
+struct Bipartition {
+  std::vector<Side> side;  // indexed by NodeId
+
+  [[nodiscard]] bool is_left(NodeId v) const {
+    return side[v] == Side::kLeft;
+  }
+};
+
+/// Proper 2-coloring of a connected-or-not graph, or nullopt if an odd
+/// cycle exists. BFS, O(n + m).
+std::optional<Bipartition> try_bipartition(const Graph& g);
+
+/// Uniformly random side per node (the paper's random red/blue coloring).
+Bipartition random_bipartition(NodeId n, Rng& rng);
+
+/// Edge subset of `g` that is bi-chromatic under `parts`, as a mask over
+/// EdgeId. Used to restrict algorithms to the sampled bipartite subgraph.
+std::vector<bool> bichromatic_edge_mask(const Graph& g,
+                                        const Bipartition& parts);
+
+}  // namespace distapx

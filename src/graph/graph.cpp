@@ -1,0 +1,82 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+
+NodeId Graph::other_endpoint(EdgeId e, NodeId v) const {
+  const auto [a, b] = endpoints_[e];
+  DISTAPX_ASSERT(v == a || v == b);
+  return v == a ? b : a;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  DISTAPX_ASSERT(u < n_ && v < n_);
+  if (degree(u) > degree(v)) std::swap(u, v);
+  for (const HalfEdge& he : neighbors(u)) {
+    if (he.to == v) return he.edge;
+  }
+  return kInvalidEdge;
+}
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : n_(num_nodes), adj_(num_nodes) {}
+
+EdgeId GraphBuilder::add_edge(NodeId u, NodeId v) {
+  DISTAPX_ENSURE_MSG(u < n_ && v < n_,
+                     "edge (" << u << "," << v << ") out of range n=" << n_);
+  DISTAPX_ENSURE_MSG(u != v, "self-loop at node " << u);
+  if (u > v) std::swap(u, v);
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.emplace_back(u, v);
+  adj_[u].emplace_back(v, id);
+  adj_[v].emplace_back(u, id);
+  return id;
+}
+
+EdgeId GraphBuilder::add_edge_if_absent(NodeId u, NodeId v) {
+  DISTAPX_ENSURE(u < n_ && v < n_);
+  DISTAPX_ENSURE(u != v);
+  const auto& shorter = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const NodeId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  for (const auto& [to, id] : shorter) {
+    if (to == target) return id;
+  }
+  return add_edge(u, v);
+}
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  g.n_ = n_;
+  g.endpoints_ = edges_;
+  g.offsets_.assign(n_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (NodeId v = 0; v < n_; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  g.adj_.resize(2 * edges_.size());
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const auto [u, v] = edges_[e];
+    g.adj_[cursor[u]++] = HalfEdge{v, e};
+    g.adj_[cursor[v]++] = HalfEdge{u, e};
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    auto* first = g.adj_.data() + g.offsets_[v];
+    auto* last = g.adj_.data() + g.offsets_[v + 1];
+    std::sort(first, last,
+              [](const HalfEdge& a, const HalfEdge& b) { return a.to < b.to; });
+    for (auto* it = first; it + 1 < last; ++it) {
+      DISTAPX_ENSURE_MSG(it->to != (it + 1)->to,
+                         "parallel edge between " << v << " and " << it->to);
+    }
+    g.max_deg_ = std::max<std::uint32_t>(
+        g.max_deg_, static_cast<std::uint32_t>(last - first));
+  }
+  return g;
+}
+
+}  // namespace distapx

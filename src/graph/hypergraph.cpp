@@ -1,0 +1,53 @@
+#include "graph/hypergraph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+
+Hypergraph::Hypergraph(NodeId num_vertices,
+                       std::vector<std::vector<NodeId>> hyperedges)
+    : n_(num_vertices), edges_(std::move(hyperedges)), incidence_(n_) {
+  for (HyperedgeId e = 0; e < edges_.size(); ++e) {
+    auto& verts = edges_[e];
+    std::sort(verts.begin(), verts.end());
+    DISTAPX_ENSURE_MSG(
+        std::adjacent_find(verts.begin(), verts.end()) == verts.end(),
+        "hyperedge " << e << " has a repeated vertex");
+    DISTAPX_ENSURE(!verts.empty());
+    DISTAPX_ENSURE(verts.back() < n_);
+    rank_ = std::max<std::uint32_t>(rank_,
+                                    static_cast<std::uint32_t>(verts.size()));
+    for (NodeId v : verts) incidence_[v].push_back(e);
+  }
+}
+
+bool Hypergraph::intersects(HyperedgeId e1, HyperedgeId e2) const {
+  const auto& a = edges_[e1];
+  const auto& b = edges_[e2];
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool Hypergraph::is_matching(const std::vector<HyperedgeId>& matching) const {
+  std::vector<bool> used(n_, false);
+  for (HyperedgeId e : matching) {
+    DISTAPX_ENSURE(e < num_hyperedges());
+    for (NodeId v : edges_[e]) {
+      if (used[v]) return false;
+      used[v] = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace distapx

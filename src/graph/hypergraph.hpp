@@ -1,0 +1,57 @@
+// Low-rank hypergraphs.
+//
+// Appendix B.2 reformulates "maximal set of vertex-disjoint augmenting
+// paths" as a nearly-maximal *matching in a hypergraph of rank d=O(1/ε)*:
+// each augmenting path becomes a hyperedge over its nodes, and a hyperedge
+// matching (no two sharing a vertex) is a set of disjoint paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace distapx {
+
+using HyperedgeId = std::uint32_t;
+
+/// Immutable hypergraph over dense vertex ids with incidence lists.
+class Hypergraph {
+ public:
+  Hypergraph(NodeId num_vertices,
+             std::vector<std::vector<NodeId>> hyperedges);
+
+  [[nodiscard]] NodeId num_vertices() const noexcept { return n_; }
+  [[nodiscard]] HyperedgeId num_hyperedges() const noexcept {
+    return static_cast<HyperedgeId>(edges_.size());
+  }
+
+  /// Vertices of hyperedge e.
+  [[nodiscard]] std::span<const NodeId> vertices(HyperedgeId e) const {
+    return edges_[e];
+  }
+
+  /// Hyperedges incident to vertex v.
+  [[nodiscard]] std::span<const HyperedgeId> incident(NodeId v) const {
+    return incidence_[v];
+  }
+
+  /// Max hyperedge size (the rank).
+  [[nodiscard]] std::uint32_t rank() const noexcept { return rank_; }
+
+  /// True if e1 and e2 share at least one vertex.
+  [[nodiscard]] bool intersects(HyperedgeId e1, HyperedgeId e2) const;
+
+  /// True if `matching` contains no two vertex-sharing hyperedges.
+  [[nodiscard]] bool is_matching(
+      const std::vector<HyperedgeId>& matching) const;
+
+ private:
+  NodeId n_;
+  std::uint32_t rank_ = 0;
+  std::vector<std::vector<NodeId>> edges_;
+  std::vector<std::vector<HyperedgeId>> incidence_;
+};
+
+}  // namespace distapx

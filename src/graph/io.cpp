@@ -1,0 +1,116 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace distapx::io {
+namespace {
+
+/// Strips comments and yields the next non-empty content line.
+bool next_content_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream probe(line);
+    std::string token;
+    if (probe >> token) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_edge_list(std::ostream& os, const Graph& g,
+                     const EdgeWeights* weights) {
+  if (weights != nullptr) {
+    DISTAPX_ENSURE(weights->size() == g.num_edges());
+  }
+  os << "# distapx edge list: n m, then one edge per line\n";
+  os << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    os << u << ' ' << v;
+    if (weights != nullptr) os << ' ' << (*weights)[e];
+    os << '\n';
+  }
+}
+
+LoadedGraph read_edge_list(std::istream& is) {
+  std::string line;
+  DISTAPX_ENSURE_MSG(next_content_line(is, line), "empty graph file");
+  std::istringstream header(line);
+  std::uint64_t n = 0, m = 0;
+  DISTAPX_ENSURE_MSG(static_cast<bool>(header >> n >> m),
+                     "malformed header: expected 'n m'");
+  DISTAPX_ENSURE(n <= kInvalidNode);
+  GraphBuilder builder(static_cast<NodeId>(n));
+  EdgeWeights weights;
+  bool any_weight = false, all_weights = true;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    DISTAPX_ENSURE_MSG(next_content_line(is, line),
+                       "expected " << m << " edges, got " << i);
+    std::istringstream es(line);
+    std::uint64_t u = 0, v = 0;
+    DISTAPX_ENSURE_MSG(static_cast<bool>(es >> u >> v),
+                       "malformed edge line: '" << line << "'");
+    builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    Weight w = 0;
+    if (es >> w) {
+      any_weight = true;
+      weights.push_back(w);
+    } else {
+      all_weights = false;
+      weights.push_back(1);
+    }
+  }
+  LoadedGraph out;
+  out.graph = builder.build();
+  if (any_weight) {
+    DISTAPX_ENSURE_MSG(all_weights,
+                       "either all or no edges may carry weights");
+    out.edge_weights = std::move(weights);
+  }
+  return out;
+}
+
+void write_node_weights(std::ostream& os, const NodeWeights& w) {
+  os << "# distapx node weights\n" << w.size() << '\n';
+  for (Weight x : w) os << x << '\n';
+}
+
+NodeWeights read_node_weights(std::istream& is) {
+  std::string line;
+  DISTAPX_ENSURE_MSG(next_content_line(is, line), "empty weights file");
+  std::istringstream header(line);
+  std::uint64_t n = 0;
+  DISTAPX_ENSURE(static_cast<bool>(header >> n));
+  NodeWeights w;
+  w.reserve(n);
+  while (w.size() < n && next_content_line(is, line)) {
+    std::istringstream ws(line);
+    Weight x = 0;
+    while (w.size() < n && ws >> x) w.push_back(x);
+  }
+  DISTAPX_ENSURE_MSG(w.size() == n,
+                     "expected " << n << " weights, got " << w.size());
+  return w;
+}
+
+void save_edge_list(const std::string& path, const Graph& g,
+                    const EdgeWeights* weights) {
+  std::ofstream os(path);
+  DISTAPX_ENSURE_MSG(os.good(), "cannot open " << path << " for writing");
+  write_edge_list(os, g, weights);
+  DISTAPX_ENSURE_MSG(os.good(), "write to " << path << " failed");
+}
+
+LoadedGraph load_edge_list(const std::string& path) {
+  std::ifstream is(path);
+  DISTAPX_ENSURE_MSG(is.good(), "cannot open " << path);
+  return read_edge_list(is);
+}
+
+}  // namespace distapx::io

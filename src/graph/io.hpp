@@ -1,0 +1,36 @@
+// Plain-text graph serialization.
+//
+// Format (whitespace-separated, '#' comments):
+//   n m
+//   u v [edge_weight]     x m lines
+// Node weights are stored separately as "n" followed by n weights.
+// Round-trippable; used by the CLI driver and for exchanging workloads.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace distapx::io {
+
+struct LoadedGraph {
+  Graph graph;
+  /// Present iff every edge line carried a weight.
+  std::optional<EdgeWeights> edge_weights;
+};
+
+void write_edge_list(std::ostream& os, const Graph& g,
+                     const EdgeWeights* weights = nullptr);
+LoadedGraph read_edge_list(std::istream& is);
+
+void write_node_weights(std::ostream& os, const NodeWeights& w);
+NodeWeights read_node_weights(std::istream& is);
+
+/// File-path convenience wrappers (throw EnsureError on I/O failure).
+void save_edge_list(const std::string& path, const Graph& g,
+                    const EdgeWeights* weights = nullptr);
+LoadedGraph load_edge_list(const std::string& path);
+
+}  // namespace distapx::io

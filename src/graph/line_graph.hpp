@@ -1,0 +1,45 @@
+// Line graph construction.
+//
+// The paper's matching algorithms run MaxIS algorithms on L(G): each node of
+// L(G) is an edge of G, and two line-nodes are adjacent iff the edges share
+// an endpoint (Sec. 2.4). LineGraph keeps the edge<->line-node mapping so
+// results can be translated back to matchings on G.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace distapx {
+
+/// Explicit line graph of a base graph.
+///
+/// Line-node i corresponds to base-graph edge with EdgeId i, so the mapping
+/// is the identity on indices; this class exists to make that contract
+/// explicit and to carry the base graph alongside.
+class LineGraph {
+ public:
+  explicit LineGraph(const Graph& base);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return line_; }
+  [[nodiscard]] const Graph& base() const noexcept { return *base_; }
+
+  /// Base edge represented by a line node.
+  [[nodiscard]] EdgeId base_edge(NodeId line_node) const {
+    return static_cast<EdgeId>(line_node);
+  }
+
+  /// Line node representing a base edge.
+  [[nodiscard]] NodeId line_node(EdgeId base_edge) const {
+    return static_cast<NodeId>(base_edge);
+  }
+
+  /// Translates an independent set of line nodes into the matching (edge
+  /// set) of the base graph it represents.
+  [[nodiscard]] std::vector<EdgeId> to_matching(
+      const std::vector<NodeId>& line_is) const;
+
+ private:
+  const Graph* base_;
+  Graph line_;
+};
+
+}  // namespace distapx

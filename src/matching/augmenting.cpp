@@ -1,0 +1,160 @@
+#include "matching/augmenting.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+namespace {
+
+struct PathSearch {
+  const Graph& g;
+  const std::vector<NodeId>& mate;
+  const std::vector<bool>* active;
+  std::uint32_t target_len;
+  std::size_t max_paths;
+  std::vector<NodePath>* out;          // nullptr: existence check only
+  std::vector<bool> on_path;
+  NodePath path;
+  bool found_any = false;
+
+  [[nodiscard]] bool node_ok(NodeId v) const {
+    return (active == nullptr || (*active)[v]) && !on_path[v];
+  }
+
+  /// Extends from path.back(); `need_matched` says whether the next edge
+  /// must be a matching edge. Returns true if the caller may stop early
+  /// (existence check satisfied).
+  bool extend(bool need_matched) {
+    const NodeId v = path.back();
+    const auto len = static_cast<std::uint32_t>(path.size() - 1);
+    if (len == target_len) {
+      if (mate[v] == kInvalidNode) {
+        // Canonical orientation avoids emitting reversed duplicates.
+        if (path.front() < path.back()) {
+          found_any = true;
+          if (out == nullptr) return true;
+          DISTAPX_ENSURE_MSG(out->size() < max_paths,
+                             "augmenting path enumeration exceeded "
+                                 << max_paths << " paths");
+          out->push_back(path);
+        }
+      }
+      return false;
+    }
+    if (need_matched) {
+      const NodeId m = mate[v];
+      if (m == kInvalidNode || !node_ok(m)) return false;
+      on_path[m] = true;
+      path.push_back(m);
+      const bool stop = extend(false);
+      path.pop_back();
+      on_path[m] = false;
+      return stop;
+    }
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (he.to == mate[v] || !node_ok(he.to)) continue;
+      on_path[he.to] = true;
+      path.push_back(he.to);
+      const bool stop = extend(true);
+      path.pop_back();
+      on_path[he.to] = false;
+      if (stop) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<NodePath> enumerate_augmenting_paths(
+    const Graph& g, const std::vector<NodeId>& mate, std::uint32_t length,
+    const std::vector<bool>& active, std::size_t max_paths) {
+  DISTAPX_ENSURE_MSG(length % 2 == 1, "augmenting paths have odd length");
+  DISTAPX_ENSURE(mate.size() == g.num_nodes());
+  std::vector<NodePath> paths;
+  PathSearch search{g,      mate, active.empty() ? nullptr : &active,
+                    length, max_paths, &paths,
+                    std::vector<bool>(g.num_nodes(), false),
+                    {},     false};
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (mate[s] != kInvalidNode) continue;
+    if (search.active != nullptr && !(*search.active)[s]) continue;
+    search.on_path[s] = true;
+    search.path.assign(1, s);
+    search.extend(false);
+    search.on_path[s] = false;
+  }
+  return paths;
+}
+
+bool is_augmenting_path(const Graph& g, const std::vector<NodeId>& mate,
+                        const NodePath& path) {
+  if (path.size() < 2 || path.size() % 2 != 0) return false;
+  if (mate[path.front()] != kInvalidNode ||
+      mate[path.back()] != kInvalidNode) {
+    return false;
+  }
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (NodeId v : path) {
+    if (v >= g.num_nodes() || seen[v]) return false;
+    seen[v] = true;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const bool should_match = i % 2 == 1;
+    if (g.find_edge(path[i], path[i + 1]) == kInvalidEdge) return false;
+    const bool is_matched = mate[path[i]] == path[i + 1];
+    if (is_matched != should_match) return false;
+  }
+  return true;
+}
+
+void flip_augmenting_path(const Graph& g, std::vector<NodeId>& mate,
+                          std::vector<EdgeId>& matched_edge,
+                          const NodePath& path) {
+  DISTAPX_ENSURE_MSG(is_augmenting_path(g, mate, path),
+                     "flip of a non-augmenting path");
+  for (std::size_t i = 0; i + 1 < path.size(); i += 2) {
+    const NodeId a = path[i], b = path[i + 1];
+    const EdgeId e = g.find_edge(a, b);
+    mate[a] = b;
+    mate[b] = a;
+    matched_edge[a] = e;
+    matched_edge[b] = e;
+  }
+}
+
+std::uint32_t shortest_augmenting_path_length(
+    const Graph& g, const std::vector<NodeId>& mate, std::uint32_t limit,
+    const std::vector<bool>& active) {
+  for (std::uint32_t len = 1; len <= limit; len += 2) {
+    PathSearch search{g,   mate, active.empty() ? nullptr : &active,
+                      len, 0,    nullptr,
+                      std::vector<bool>(g.num_nodes(), false),
+                      {},  false};
+    for (NodeId s = 0; s < g.num_nodes(); ++s) {
+      if (mate[s] != kInvalidNode) continue;
+      if (search.active != nullptr && !(*search.active)[s]) continue;
+      search.on_path[s] = true;
+      search.path.assign(1, s);
+      if (search.extend(false)) return len;
+      search.on_path[s] = false;
+      if (search.found_any) return len;
+    }
+  }
+  return 0;
+}
+
+std::vector<EdgeId> matching_from_matched_edge(
+    const Graph& g, const std::vector<EdgeId>& matched_edge) {
+  std::vector<EdgeId> matching;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const EdgeId e = matched_edge[v];
+    if (e == kInvalidEdge) continue;
+    const auto [a, b] = g.endpoints(e);
+    if (v == std::min(a, b)) matching.push_back(e);
+  }
+  return matching;
+}
+
+}  // namespace distapx

@@ -1,0 +1,49 @@
+// Augmenting-path utilities (paper Appendix B.2).
+//
+// Given a matching M, an augmenting path alternates unmatched/matched edges
+// between two unmatched endpoints; flipping it grows |M| by one. These
+// helpers enumerate short augmenting paths, flip them, and check the
+// Hopcroft–Karp shortest-path invariants the (1+ε) algorithms rely on.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace distapx {
+
+/// A path as its node sequence (length = nodes.size() - 1 edges).
+using NodePath = std::vector<NodeId>;
+
+/// Enumerates all simple augmenting paths of exactly `length` edges w.r.t.
+/// the matching given by `mate` (kInvalidNode = free), restricted to nodes
+/// with active[v] (pass {} for all-active). Reversed duplicates are
+/// canonicalized (first endpoint id < last endpoint id). Throws if more
+/// than `max_paths` would be produced.
+std::vector<NodePath> enumerate_augmenting_paths(
+    const Graph& g, const std::vector<NodeId>& mate, std::uint32_t length,
+    const std::vector<bool>& active = {},
+    std::size_t max_paths = 1u << 22);
+
+/// True iff `path` is an augmenting path w.r.t. `mate`.
+bool is_augmenting_path(const Graph& g, const std::vector<NodeId>& mate,
+                        const NodePath& path);
+
+/// Flips `path` in `mate` (and in `matched_edge`, the per-node matched
+/// EdgeId view). The path must be augmenting.
+void flip_augmenting_path(const Graph& g, std::vector<NodeId>& mate,
+                          std::vector<EdgeId>& matched_edge,
+                          const NodePath& path);
+
+/// Smallest augmenting-path length <= `limit` among active nodes, or 0 if
+/// none. Exponential in the worst case; intended for tests/verification.
+std::uint32_t shortest_augmenting_path_length(
+    const Graph& g, const std::vector<NodeId>& mate, std::uint32_t limit,
+    const std::vector<bool>& active = {});
+
+/// Converts a per-node matched-edge view into an edge list.
+std::vector<EdgeId> matching_from_matched_edge(
+    const Graph& g, const std::vector<EdgeId>& matched_edge);
+
+}  // namespace distapx

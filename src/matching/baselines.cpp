@@ -1,0 +1,41 @@
+#include "matching/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+
+MatchingResult greedy_matching(const Graph& g, const EdgeWeights& w) {
+  DISTAPX_ENSURE(w.size() == g.num_edges());
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return w[a] != w[b] ? w[a] > w[b] : a < b;
+  });
+  std::vector<bool> used(g.num_nodes(), false);
+  MatchingResult result;
+  for (EdgeId e : order) {
+    if (w[e] <= 0) break;
+    const auto [u, v] = g.endpoints(e);
+    if (used[u] || used[v]) continue;
+    used[u] = used[v] = true;
+    result.matching.push_back(e);
+  }
+  return result;
+}
+
+MatchingResult greedy_maximal_matching(const Graph& g) {
+  std::vector<bool> used(g.num_nodes(), false);
+  MatchingResult result;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (used[u] || used[v]) continue;
+    used[u] = used[v] = true;
+    result.matching.push_back(e);
+  }
+  return result;
+}
+
+}  // namespace distapx

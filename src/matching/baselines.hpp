@@ -1,0 +1,16 @@
+// Sequential matching baselines.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace distapx {
+
+/// Greedy maximum-weight matching: scan edges by descending weight, take
+/// each edge whose endpoints are free. Classic sequential 2-approximation.
+MatchingResult greedy_matching(const Graph& g, const EdgeWeights& w);
+
+/// Greedy maximal (cardinality) matching in edge-id order.
+MatchingResult greedy_maximal_matching(const Graph& g);
+
+}  // namespace distapx

@@ -1,0 +1,297 @@
+#include "matching/bipartite_paths.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+namespace {
+
+constexpr std::uint32_t kNoLayer = 0xffffffffu;
+
+/// One forward+backward sweep of the Claim B.5/B.6 traversal.
+struct Traversal {
+  std::vector<double> fwd_edge;       // value forwarded along each edge
+  std::vector<std::uint32_t> layer;   // first-receipt round per node
+  std::vector<double> in_val;         // received sum per node
+  std::vector<double> out_val;        // value an A-node forwards
+  std::vector<std::uint32_t> send_round;  // round an A-node forwards (odd)
+  std::vector<double> end_mass;       // z(b) at free B-nodes of layer d
+  std::vector<double> mass;           // Σ_{P ∋ v} p(P) per node (backward)
+  bool any_path = false;
+};
+
+/// usable(v) gates participation; alpha == nullptr runs the unit-count
+/// variant (Claim B.5). `strict` enforces the no-shorter-path precondition.
+template <typename Usable>
+Traversal run_traversal(const Graph& g, const Bipartition& parts,
+                        const std::vector<NodeId>& mate, std::uint32_t d,
+                        Usable usable, const std::vector<double>* alpha,
+                        bool strict) {
+  const NodeId n = g.num_nodes();
+  Traversal t;
+  t.fwd_edge.assign(g.num_edges(), 0.0);
+  t.layer.assign(n, kNoLayer);
+  t.in_val.assign(n, 0.0);
+  t.out_val.assign(n, 0.0);
+  t.send_round.assign(n, 0);
+  t.end_mass.assign(n, 0.0);
+  t.mass.assign(n, 0.0);
+
+  // Forward: free A-nodes start at round 1; matched B-nodes relay to their
+  // mates, which forward two rounds later (BFS layering, Claim B.5).
+  std::vector<NodeId> senders;
+  for (NodeId v = 0; v < n; ++v) {
+    if (parts.is_left(v) && mate[v] == kInvalidNode && usable(v)) {
+      t.out_val[v] = alpha != nullptr ? (*alpha)[v] : 1.0;
+      t.send_round[v] = 1;
+      senders.push_back(v);
+    }
+  }
+  for (std::uint32_t r = 1; r <= d; r += 2) {
+    std::vector<NodeId> receivers;
+    for (NodeId a : senders) {
+      if (t.send_round[a] != r || t.out_val[a] <= 0.0) continue;
+      for (const HalfEdge& he : g.neighbors(a)) {
+        const NodeId b = he.to;
+        if (b == mate[a] || !usable(b)) continue;
+        DISTAPX_ASSERT(!parts.is_left(b));
+        if (t.layer[b] == kNoLayer) {
+          t.layer[b] = r;
+          receivers.push_back(b);
+        }
+        if (t.layer[b] == r) {
+          t.fwd_edge[he.edge] = t.out_val[a];
+          t.in_val[b] += t.out_val[a];
+        }
+        // Later receipts indicate longer paths; they are discarded.
+      }
+    }
+    std::vector<NodeId> next_senders;
+    for (NodeId b : receivers) {
+      if (mate[b] == kInvalidNode) {
+        if (r == d) {
+          t.end_mass[b] =
+              t.in_val[b] * (alpha != nullptr ? (*alpha)[b] : 1.0);
+          t.any_path = true;
+        } else {
+          DISTAPX_ENSURE_MSG(!strict,
+                             "augmenting path shorter than d=" << d
+                                 << " found at node " << b);
+        }
+        continue;
+      }
+      if (r == d) continue;
+      const NodeId a = mate[b];
+      if (!usable(a)) continue;
+      t.layer[a] = r + 1;
+      t.in_val[a] = t.in_val[b];
+      t.out_val[a] =
+          t.in_val[a] * (alpha != nullptr ? (*alpha)[a] : 1.0);
+      t.send_round[a] = r + 2;
+      next_senders.push_back(a);
+    }
+    senders = std::move(next_senders);
+  }
+
+  // Backward: split masses proportionally to forward contributions
+  // (Claim B.6), so mass[v] = Σ over paths through v.
+  for (NodeId b = 0; b < n; ++b) {
+    if (t.end_mass[b] > 0.0) t.mass[b] = t.end_mass[b];
+  }
+  for (std::uint32_t r = d;; r -= 2) {
+    // B-nodes of layer r split to the A-nodes that fed them.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (t.fwd_edge[e] <= 0.0) continue;
+      auto [a, b] = g.endpoints(e);
+      if (!parts.is_left(a)) std::swap(a, b);
+      if (t.layer[b] != r || t.send_round[a] != r) continue;
+      if (t.in_val[b] <= 0.0 || t.mass[b] <= 0.0) continue;
+      t.mass[a] += t.mass[b] * (t.fwd_edge[e] / t.in_val[b]);
+    }
+    if (r == 1) break;
+    // A-senders of round r hand their mass to their mates (layer r-2).
+    for (NodeId a = 0; a < n; ++a) {
+      if (t.send_round[a] == r && mate[a] != kInvalidNode) {
+        t.mass[mate[a]] = t.mass[a];
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<double> count_augmenting_paths_per_node(
+    const Graph& g, const Bipartition& parts,
+    const std::vector<NodeId>& mate, std::uint32_t d,
+    const std::vector<bool>& active) {
+  DISTAPX_ENSURE(d % 2 == 1);
+  auto usable = [&](NodeId v) { return active.empty() || active[v]; };
+  const auto t = run_traversal(g, parts, mate, d, usable, nullptr,
+                               /*strict=*/false);
+  return t.mass;
+}
+
+AugPathSearchResult find_and_flip_aug_paths_bipartite(
+    const Graph& g, const Bipartition& parts, std::vector<NodeId>& mate,
+    std::vector<bool>& active, const AugPathSearchParams& params, Rng& rng) {
+  DISTAPX_ENSURE(params.d % 2 == 1);
+  DISTAPX_ENSURE(params.K >= 2);
+  const NodeId n = g.num_nodes();
+  const std::uint32_t d = params.d;
+  const double K = params.K;
+  const double shrink = std::pow(K, -2.0 * d);
+  const double delta_cap = std::max<double>(g.max_degree(), 4);
+  const double floor =
+      std::pow(delta_cap, -20.0 / std::max(params.epsilon, 1e-3));
+  const double heavy_bar = 1.0 / (10.0 * d);
+  const double good_bar = 1.0 / (d * std::pow(K, 2.0 * d));
+  const std::uint64_t good_threshold =
+      params.good_threshold != 0
+          ? params.good_threshold
+          : std::min<std::uint64_t>(
+                1000000,
+                static_cast<std::uint64_t>(std::ceil(
+                    params.beta * d * std::pow(K, 2.0 * d) *
+                    std::log(1.0 / params.delta))) +
+                    1);
+
+  // Attenuations: 1/K at free A-nodes, 1 elsewhere (Claim B.8 α0).
+  std::vector<double> alpha(n, 1.0), alpha0(n, 1.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (parts.is_left(v) && mate[v] == kInvalidNode) {
+      alpha0[v] = 1.0 / K;
+      alpha[v] = alpha0[v];
+    }
+  }
+  std::vector<std::uint64_t> good_count(n, 0);
+  std::vector<bool> phase_blocked(n, false);
+  std::vector<EdgeId> matched_edge(n, kInvalidEdge);
+  for (NodeId v = 0; v < n; ++v) {
+    if (mate[v] != kInvalidNode) matched_edge[v] = g.find_edge(v, mate[v]);
+  }
+
+  AugPathSearchResult result;
+  auto usable = [&](NodeId v) { return active[v] && !phase_blocked[v]; };
+
+  for (std::uint32_t it = 0; it < params.max_iterations; ++it) {
+    const auto t = run_traversal(g, parts, mate, d, usable, &alpha,
+                                 /*strict=*/true);
+    if (!t.any_path) {
+      result.drained = true;
+      break;
+    }
+    ++result.iterations;
+    result.rounds += 6 * d + 4;
+
+    // Heaviness (Def. B.7) and the light-restricted pass for good rounds.
+    std::vector<bool> heavy(n, false);
+    for (NodeId v = 0; v < n; ++v) heavy[v] = t.mass[v] >= heavy_bar;
+    auto usable_light = [&](NodeId v) { return usable(v) && !heavy[v]; };
+    const auto tl = run_traversal(g, parts, mate, d, usable_light, &alpha,
+                                  /*strict=*/true);
+    for (NodeId v = 0; v < n; ++v) {
+      if (usable(v) && tl.mass[v] >= good_bar) ++good_count[v];
+    }
+
+    // Token marking: free B endpoints initiate with probability equal to
+    // their path mass (heavy endpoints abstain); tokens walk backwards,
+    // colliding tokens die; survivors are disjoint augmenting paths.
+    struct Token {
+      NodeId at;
+      NodePath nodes;  // from the B end backwards
+    };
+    std::vector<Token> tokens;
+    for (NodeId b = 0; b < n; ++b) {
+      if (t.end_mass[b] <= 0.0 || heavy[b] || !usable(b)) continue;
+      const double z = std::min(t.end_mass[b], 1.0);
+      if (rng.bernoulli(z)) tokens.push_back(Token{b, {b}});
+    }
+    for (std::uint32_t r = d;; r -= 2) {
+      // Kill colliding tokens at their current (B) nodes.
+      auto kill_collisions = [&] {
+        std::unordered_map<NodeId, int> seen;
+        for (const Token& tok : tokens) ++seen[tok.at];
+        std::vector<Token> live;
+        for (Token& tok : tokens) {
+          if (seen[tok.at] == 1) live.push_back(std::move(tok));
+        }
+        tokens = std::move(live);
+      };
+      kill_collisions();
+      // Each token picks a contributing edge proportionally.
+      for (Token& tok : tokens) {
+        const NodeId b = tok.at;
+        DISTAPX_ASSERT(t.layer[b] == r);
+        double x = rng.next_double() * t.in_val[b];
+        NodeId chosen = kInvalidNode;
+        for (const HalfEdge& he : g.neighbors(b)) {
+          const NodeId a = he.to;
+          if (t.fwd_edge[he.edge] <= 0.0 || t.send_round[a] != r) continue;
+          chosen = a;
+          x -= t.fwd_edge[he.edge];
+          if (x <= 0.0) break;
+        }
+        DISTAPX_ENSURE(chosen != kInvalidNode);
+        tok.at = chosen;
+        tok.nodes.push_back(chosen);
+      }
+      kill_collisions();
+      if (r == 1) break;
+      for (Token& tok : tokens) {
+        const NodeId b_prev = mate[tok.at];
+        DISTAPX_ASSERT(b_prev != kInvalidNode);
+        tok.at = b_prev;
+        tok.nodes.push_back(b_prev);
+      }
+    }
+    // Survivors reached free A-nodes: flip and block their nodes.
+    for (Token& tok : tokens) {
+      NodePath path(tok.nodes.rbegin(), tok.nodes.rend());
+      DISTAPX_ASSERT(mate[path.front()] == kInvalidNode);
+      flip_augmenting_path(g, mate, matched_edge, path);
+      for (NodeId v : path) phase_blocked[v] = true;
+      result.flipped.push_back(std::move(path));
+    }
+
+    // Attenuation dynamics (Claim B.8 rule).
+    for (NodeId v = 0; v < n; ++v) {
+      if (!usable(v)) continue;
+      const bool has_attenuation =
+          parts.is_left(v) || mate[v] == kInvalidNode;
+      if (!has_attenuation) continue;
+      if (heavy[v]) {
+        alpha[v] = std::max(alpha[v] * shrink, floor);
+      } else {
+        alpha[v] = std::min(alpha0[v], alpha[v] * K);
+      }
+    }
+
+    // Deactivation after too many good iterations (Lemma B.10).
+    for (NodeId v = 0; v < n; ++v) {
+      if (active[v] && !phase_blocked[v] && good_count[v] > good_threshold) {
+        active[v] = false;
+        result.deactivated.push_back(v);
+      }
+    }
+  }
+  if (!result.drained) {
+    // Iteration cap: deactivate whatever still carries paths so callers
+    // retain the maximality-on-active-nodes invariant.
+    const auto t = run_traversal(g, parts, mate, d, usable, &alpha,
+                                 /*strict=*/true);
+    for (NodeId v = 0; v < n; ++v) {
+      if (t.mass[v] > 0.0 && active[v]) {
+        active[v] = false;
+        result.deactivated.push_back(v);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace distapx

@@ -1,0 +1,133 @@
+#include "matching/blossom.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+namespace {
+
+/// Standard O(V³) blossom-shrinking search (array-based, after Gabow's
+/// presentation): one BFS per free vertex, contracting odd cycles via the
+/// `base` array.
+class BlossomSolver {
+ public:
+  explicit BlossomSolver(const Graph& g) : g_(g), n_(g.num_nodes()) {
+    mate_.assign(n_, kInvalidNode);
+  }
+
+  std::vector<EdgeId> solve() {
+    for (NodeId v = 0; v < n_; ++v) {
+      if (mate_[v] == kInvalidNode) augment_from(v);
+    }
+    std::vector<EdgeId> matching;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (mate_[v] != kInvalidNode && v < mate_[v]) {
+        const EdgeId e = g_.find_edge(v, mate_[v]);
+        DISTAPX_ASSERT(e != kInvalidEdge);
+        matching.push_back(e);
+      }
+    }
+    return matching;
+  }
+
+ private:
+  NodeId lca(NodeId a, NodeId b) {
+    std::vector<bool> used(n_, false);
+    for (;;) {
+      a = base_[a];
+      used[a] = true;
+      if (mate_[a] == kInvalidNode) break;
+      a = parent_[mate_[a]];
+    }
+    for (;;) {
+      b = base_[b];
+      if (used[b]) return b;
+      b = parent_[mate_[b]];
+    }
+  }
+
+  void mark_path(NodeId v, NodeId b, NodeId child) {
+    while (base_[v] != b) {
+      blossom_[base_[v]] = true;
+      blossom_[base_[mate_[v]]] = true;
+      parent_[v] = child;
+      child = mate_[v];
+      v = parent_[mate_[v]];
+    }
+  }
+
+  NodeId find_path(NodeId root) {
+    used_.assign(n_, false);
+    parent_.assign(n_, kInvalidNode);
+    base_.resize(n_);
+    for (NodeId v = 0; v < n_; ++v) base_[v] = v;
+
+    used_[root] = true;
+    std::deque<NodeId> queue{root};
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const HalfEdge& he : g_.neighbors(v)) {
+        const NodeId to = he.to;
+        if (base_[v] == base_[to] || mate_[v] == to) continue;
+        if (to == root ||
+            (mate_[to] != kInvalidNode &&
+             parent_[mate_[to]] != kInvalidNode)) {
+          // Odd cycle: contract the blossom.
+          const NodeId cur_base = lca(v, to);
+          blossom_.assign(n_, false);
+          mark_path(v, cur_base, to);
+          mark_path(to, cur_base, v);
+          for (NodeId i = 0; i < n_; ++i) {
+            if (blossom_[base_[i]]) {
+              base_[i] = cur_base;
+              if (!used_[i]) {
+                used_[i] = true;
+                queue.push_back(i);
+              }
+            }
+          }
+        } else if (parent_[to] == kInvalidNode) {
+          parent_[to] = v;
+          if (mate_[to] == kInvalidNode) {
+            return to;  // augmenting path found
+          }
+          used_[mate_[to]] = true;
+          queue.push_back(mate_[to]);
+        }
+      }
+    }
+    return kInvalidNode;
+  }
+
+  void augment_from(NodeId root) {
+    const NodeId finish = find_path(root);
+    if (finish == kInvalidNode) return;
+    NodeId v = finish;
+    while (v != kInvalidNode) {
+      const NodeId pv = parent_[v];
+      const NodeId ppv = mate_[pv];
+      mate_[v] = pv;
+      mate_[pv] = v;
+      v = ppv;
+    }
+  }
+
+  const Graph& g_;
+  NodeId n_;
+  std::vector<NodeId> mate_, parent_, base_;
+  std::vector<bool> used_, blossom_;
+};
+
+}  // namespace
+
+MatchingResult blossom_mcm(const Graph& g) {
+  BlossomSolver solver(g);
+  MatchingResult result;
+  result.matching = solver.solve();
+  return result;
+}
+
+}  // namespace distapx

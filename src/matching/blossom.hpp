@@ -1,0 +1,13 @@
+// Edmonds' blossom algorithm [Edm65b]: exact maximum-cardinality matching
+// in general graphs, O(V³). The exact baseline for the (1+ε) and (2+ε)
+// cardinality-matching experiments on non-bipartite workloads.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace distapx {
+
+MatchingResult blossom_mcm(const Graph& g);
+
+}  // namespace distapx

@@ -1,0 +1,147 @@
+#include "matching/exact_mwm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+
+MatchingResult exact_mwm_small(const Graph& g, const EdgeWeights& w) {
+  const NodeId n = g.num_nodes();
+  DISTAPX_ENSURE_MSG(n <= 22, "exact_mwm_small supports at most 22 nodes");
+  DISTAPX_ENSURE(w.size() == g.num_edges());
+  const std::size_t size = std::size_t{1} << n;
+  std::vector<Weight> f(size, 0);
+  // f[mask] = best matching weight using only nodes in mask.
+  for (std::size_t mask = 1; mask < size; ++mask) {
+    const auto v = static_cast<NodeId>(std::countr_zero(mask));
+    // Leave v unmatched.
+    Weight best = f[mask & (mask - 1)];
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (he.to < n && (mask >> he.to) & 1) {
+        const std::size_t rest =
+            mask & ~(std::size_t{1} << v) & ~(std::size_t{1} << he.to);
+        best = std::max(best, w[he.edge] + f[rest]);
+      }
+    }
+    f[mask] = best;
+  }
+  // Reconstruct.
+  MatchingResult result;
+  std::size_t mask = size - 1;
+  while (mask != 0) {
+    const auto v = static_cast<NodeId>(std::countr_zero(mask));
+    const std::size_t without_v = mask & (mask - 1);
+    if (f[mask] == f[without_v]) {
+      mask = without_v;
+      continue;
+    }
+    bool found = false;
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (((mask >> he.to) & 1) == 0) continue;
+      const std::size_t rest =
+          mask & ~(std::size_t{1} << v) & ~(std::size_t{1} << he.to);
+      if (f[mask] == w[he.edge] + f[rest]) {
+        result.matching.push_back(he.edge);
+        mask = rest;
+        found = true;
+        break;
+      }
+    }
+    DISTAPX_ENSURE(found);
+  }
+  return result;
+}
+
+MatchingResult exact_mwm_bipartite(const Graph& g, const EdgeWeights& w) {
+  DISTAPX_ENSURE(w.size() == g.num_edges());
+  const auto parts_opt = try_bipartition(g);
+  DISTAPX_ENSURE_MSG(parts_opt.has_value(), "graph is not bipartite");
+  const Bipartition& parts = *parts_opt;
+
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> mate(n, kInvalidNode);
+  std::vector<EdgeId> mate_edge(n, kInvalidEdge);
+  constexpr Weight kNegInf = std::numeric_limits<Weight>::min() / 4;
+
+  // Successive max-gain augmenting paths: a matching of size k with maximum
+  // weight among size-k matchings, augmented along a maximum-gain
+  // alternating path, is maximum-weight among size-(k+1) matchings
+  // (standard exchange argument); weight is concave in k so we stop at the
+  // first non-positive gain.
+  for (;;) {
+    // Longest-path (max-gain) Bellman-Ford over the alternating structure:
+    // unmatched left->right edges add +w, matched right->left edges add -w.
+    std::vector<Weight> dist(n, kNegInf);
+    std::vector<EdgeId> via(n, kInvalidEdge);
+    for (NodeId v = 0; v < n; ++v) {
+      if (parts.is_left(v) && mate[v] == kInvalidNode) dist[v] = 0;
+    }
+    for (NodeId pass = 0; pass + 1 < std::max<NodeId>(n, 2); ++pass) {
+      bool changed = false;
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        auto [a, b] = g.endpoints(e);
+        if (!parts.is_left(a)) std::swap(a, b);
+        if (mate[a] == b) {
+          // Matched edge: traversed right -> left with gain -w.
+          if (dist[b] != kNegInf && dist[b] - w[e] > dist[a]) {
+            dist[a] = dist[b] - w[e];
+            changed = true;
+          }
+        } else {
+          // Unmatched edge: traversed left -> right with gain +w. dist[a]
+          // is only ever set for free left nodes or via a's matched edge,
+          // so alternation is preserved.
+          if (dist[a] != kNegInf && dist[a] + w[e] > dist[b]) {
+            dist[b] = dist[a] + w[e];
+            via[b] = e;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    NodeId best_end = kInvalidNode;
+    Weight best_gain = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!parts.is_left(v) && mate[v] == kInvalidNode &&
+          dist[v] > best_gain) {
+        best_gain = dist[v];
+        best_end = v;
+      }
+    }
+    if (best_end == kInvalidNode) break;
+    // Collect the alternating path back to a free left node, then flip it.
+    std::vector<EdgeId> to_add;
+    NodeId v = best_end;
+    for (;;) {
+      const EdgeId e = via[v];  // unmatched edge (left a, right v)
+      DISTAPX_ENSURE(e != kInvalidEdge);
+      to_add.push_back(e);
+      auto [a, b] = g.endpoints(e);
+      if (!parts.is_left(a)) std::swap(a, b);
+      DISTAPX_ASSERT(b == v);
+      if (mate[a] == kInvalidNode) break;
+      v = mate[a];  // continue from a's mate along the matched edge
+    }
+    for (EdgeId e : to_add) {
+      auto [a, b] = g.endpoints(e);
+      mate[a] = b;
+      mate[b] = a;
+      mate_edge[a] = e;
+      mate_edge[b] = e;
+    }
+  }
+
+  MatchingResult result;
+  for (NodeId v = 0; v < n; ++v) {
+    if (parts.is_left(v) && mate_edge[v] != kInvalidEdge) {
+      result.matching.push_back(mate_edge[v]);
+    }
+  }
+  return result;
+}
+
+}  // namespace distapx

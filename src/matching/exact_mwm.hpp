@@ -1,0 +1,22 @@
+// Exact maximum-weight matching baselines.
+//
+//  * exact_mwm_small — subset DP over vertex masks, n <= 24; any topology.
+//  * exact_mwm_bipartite — successive longest augmenting paths (Bellman-
+//    Ford on the alternating-path gain graph); exact for bipartite graphs
+//    at the scales our benches use.
+#pragma once
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace distapx {
+
+/// Exact MWM via DP over vertex subsets; requires n <= 24.
+MatchingResult exact_mwm_small(const Graph& g, const EdgeWeights& w);
+
+/// Exact MWM of a bipartite graph (weights may be any integers; only
+/// positive-total matchings are ever beneficial).
+MatchingResult exact_mwm_bipartite(const Graph& g, const EdgeWeights& w);
+
+}  // namespace distapx

@@ -1,0 +1,76 @@
+#include "matching/hk_framework.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace distapx {
+
+HkApproxResult run_hk_matching_local(const Graph& g, std::uint64_t seed,
+                                     HkApproxParams params) {
+  DISTAPX_ENSURE(params.epsilon > 0);
+  const auto ell_max = static_cast<std::uint32_t>(
+      2 * std::ceil(1.0 / params.epsilon) + 1);
+
+  std::vector<NodeId> mate(g.num_nodes(), kInvalidNode);
+  std::vector<EdgeId> matched_edge(g.num_nodes(), kInvalidEdge);
+  std::vector<bool> active(g.num_nodes(), true);
+  Rng seeder(seed);
+
+  HkApproxResult result;
+  for (std::uint32_t ell = 1; ell <= ell_max; ell += 2) {
+    ++result.phases;
+    // A nearly-maximal set must be maximal on the *active* subgraph, so we
+    // iterate within the phase until no active length-ℓ path remains
+    // (greedy mode achieves it in one pass).
+    for (;;) {
+      auto paths = enumerate_augmenting_paths(g, mate, ell, active,
+                                              params.max_paths);
+      if (paths.empty()) break;
+      if (params.algo == PathSetAlgo::kGreedyMaximal) {
+        std::vector<bool> used(g.num_nodes(), false);
+        for (const NodePath& path : paths) {
+          const bool free = std::none_of(
+              path.begin(), path.end(),
+              [&](NodeId v) { return used[v]; });
+          if (!free) continue;
+          for (NodeId v : path) used[v] = true;
+          flip_augmenting_path(g, mate, matched_edge, path);
+        }
+        result.conflict_rounds += 1;
+        break;  // a full greedy pass is maximal
+      }
+      // Conflict structure as a hypergraph over the graph's nodes.
+      std::vector<std::vector<NodeId>> hyperedges(paths.begin(),
+                                                  paths.end());
+      Hypergraph h(g.num_nodes(), std::move(hyperedges));
+      HypergraphNmmParams nmm = params.nmm;
+      const auto nm = run_hypergraph_nmm(h, seeder.next(), nmm);
+      result.conflict_rounds += nm.iterations;
+      for (HyperedgeId pe : nm.matching) {
+        flip_augmenting_path(g, mate, matched_edge, paths[pe]);
+      }
+      for (NodeId v : nm.deactivated) {
+        if (active[v]) {
+          active[v] = false;
+          result.deactivated.push_back(v);
+        }
+      }
+      if (nm.drained && nm.matching.empty() && nm.deactivated.empty()) {
+        break;  // nothing progressed; the set is maximal already
+      }
+      if (nm.drained) {
+        // Maximal among active nodes; re-enumerate to confirm.
+        auto remaining = enumerate_augmenting_paths(g, mate, ell, active,
+                                                    params.max_paths);
+        if (remaining.empty()) break;
+      }
+    }
+  }
+  result.matching = matching_from_matched_edge(g, matched_edge);
+  return result;
+}
+
+}  // namespace distapx

@@ -1,0 +1,44 @@
+// (1+ε)-approximate maximum cardinality matching in the LOCAL model
+// (paper Appendix B.2, Theorem B.4).
+//
+// Hopcroft–Karp phase framework: for ℓ = 1, 3, ..., 2⌈1/ε⌉+1, find a
+// (nearly-)maximal set of vertex-disjoint augmenting paths of length ℓ and
+// flip them all. The disjoint-path set is a matching in the rank-ℓ+1
+// hypergraph whose hyperedges are the augmenting paths; we compute it
+// either greedily (a true MIS of the conflict graph — the idealized
+// reference) or with the Lemma B.3 nearly-maximal hypergraph matching,
+// which deactivates each node with probability <= δ and yields the
+// O(poly(1/ε) · log Δ / log log Δ) round bound.
+#pragma once
+
+#include "matching/augmenting.hpp"
+#include "matching/hypergraph_nmm.hpp"
+#include "matching/matching.hpp"
+
+namespace distapx {
+
+enum class PathSetAlgo {
+  kGreedyMaximal,   ///< exact maximal set (idealized MIS reference)
+  kHypergraphNmm,   ///< Lemma B.3 nearly-maximal hypergraph matching
+};
+
+struct HkApproxParams {
+  double epsilon = 1.0 / 3.0;
+  PathSetAlgo algo = PathSetAlgo::kHypergraphNmm;
+  HypergraphNmmParams nmm;  ///< used when algo == kHypergraphNmm
+  std::size_t max_paths = 1u << 22;
+};
+
+struct HkApproxResult {
+  std::vector<EdgeId> matching;
+  std::vector<NodeId> deactivated;
+  std::uint32_t phases = 0;
+  /// Conflict-graph rounds across all phases; one conflict-graph round is
+  /// O(ℓ) = O(1/ε) rounds on the network in the LOCAL model.
+  std::uint32_t conflict_rounds = 0;
+};
+
+HkApproxResult run_hk_matching_local(const Graph& g, std::uint64_t seed,
+                                     HkApproxParams params = {});
+
+}  // namespace distapx

@@ -1,0 +1,113 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+class HkSolver {
+ public:
+  HkSolver(const Graph& g, const Bipartition& parts) : g_(g) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (parts.is_left(v)) left_.push_back(v);
+    }
+    mate_.assign(g.num_nodes(), kInvalidNode);
+    mate_edge_.assign(g.num_nodes(), kInvalidEdge);
+  }
+
+  std::vector<EdgeId> solve() {
+    while (bfs()) {
+      for (NodeId u : left_) {
+        if (mate_[u] == kInvalidNode) dfs(u);
+      }
+    }
+    std::vector<EdgeId> matching;
+    for (NodeId u : left_) {
+      if (mate_edge_[u] != kInvalidEdge) matching.push_back(mate_edge_[u]);
+    }
+    return matching;
+  }
+
+ private:
+  bool bfs() {
+    std::deque<NodeId> queue;
+    dist_.assign(g_.num_nodes(), kInf);
+    for (NodeId u : left_) {
+      if (mate_[u] == kInvalidNode) {
+        dist_[u] = 0;
+        queue.push_back(u);
+      }
+    }
+    bool found_free_right = false;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const HalfEdge& he : g_.neighbors(u)) {
+        const NodeId w = he.to;  // right side
+        const NodeId next = mate_[w];
+        if (next == kInvalidNode) {
+          found_free_right = true;
+        } else if (dist_[next] == kInf) {
+          dist_[next] = dist_[u] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    return found_free_right;
+  }
+
+  bool dfs(NodeId u) {
+    for (const HalfEdge& he : g_.neighbors(u)) {
+      const NodeId w = he.to;
+      const NodeId next = mate_[w];
+      if (next == kInvalidNode ||
+          (dist_[next] == dist_[u] + 1 && dfs(next))) {
+        mate_[u] = w;
+        mate_[w] = u;
+        mate_edge_[u] = he.edge;
+        mate_edge_[w] = he.edge;
+        return true;
+      }
+    }
+    dist_[u] = kInf;
+    return false;
+  }
+
+  const Graph& g_;
+  std::vector<NodeId> left_;
+  std::vector<NodeId> mate_;
+  std::vector<EdgeId> mate_edge_;
+  std::vector<std::uint32_t> dist_;
+};
+
+}  // namespace
+
+MatchingResult hopcroft_karp(const Graph& g, const Bipartition& parts) {
+  // Validate the bipartition covers every edge.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    DISTAPX_ENSURE_MSG(parts.side[u] != parts.side[v],
+                       "edge " << e << " is monochromatic");
+  }
+  HkSolver solver(g, parts);
+  MatchingResult result;
+  result.matching = solver.solve();
+  return result;
+}
+
+MatchingResult hopcroft_karp(const Graph& g) {
+  const auto parts = try_bipartition(g);
+  DISTAPX_ENSURE_MSG(parts.has_value(), "graph is not bipartite");
+  return hopcroft_karp(g, *parts);
+}
+
+std::size_t exact_mis_size_bipartite(const Graph& g) {
+  return g.num_nodes() - hopcroft_karp(g).matching.size();
+}
+
+}  // namespace distapx

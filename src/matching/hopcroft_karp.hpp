@@ -1,0 +1,27 @@
+// Hopcroft–Karp exact maximum-cardinality bipartite matching [HK73].
+//
+// Doubles as the paper's framework reference: fact (1) (no augmenting path
+// of length <= 2⌈1/ε⌉+1 ⇒ (1+ε)-approximation) and fact (2) (augmenting
+// with a maximal set of shortest paths increases the shortest augmenting
+// path length) are exactly what the distributed (1+ε) algorithm exploits.
+// Also provides König-theorem exact MaxIS size for unweighted bipartite
+// graphs (|MaxIS| = n - |MCM|), used as a large-scale MaxIS baseline.
+#pragma once
+
+#include "graph/bipartite.hpp"
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace distapx {
+
+/// Exact MCM of a bipartite graph. `parts` must be a proper bipartition.
+MatchingResult hopcroft_karp(const Graph& g, const Bipartition& parts);
+
+/// Exact MCM of a bipartite graph (computes a bipartition; throws on odd
+/// cycles).
+MatchingResult hopcroft_karp(const Graph& g);
+
+/// König: exact MaxIS size of an unweighted bipartite graph.
+std::size_t exact_mis_size_bipartite(const Graph& g);
+
+}  // namespace distapx

@@ -1,0 +1,139 @@
+#include "matching/hypergraph_nmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+
+HypergraphNmmResult run_hypergraph_nmm(const Hypergraph& h,
+                                       std::uint64_t seed,
+                                       HypergraphNmmParams params) {
+  DISTAPX_ENSURE(params.K >= 2);
+  const std::uint32_t d = std::max<std::uint32_t>(h.rank(), 1);
+  const double K = params.K;
+  const std::uint32_t good_threshold =
+      params.good_round_threshold != 0
+          ? params.good_round_threshold
+          : static_cast<std::uint32_t>(std::ceil(
+                params.beta * d * K * K * std::log(1.0 / params.delta))) +
+                1;
+
+  const HyperedgeId m = h.num_hyperedges();
+  std::vector<double> p(m, 1.0 / K);
+  std::vector<bool> edge_alive(m, true);
+  std::vector<bool> node_active(h.num_vertices(), true);
+  std::vector<std::uint32_t> good_count(h.num_vertices(), 0);
+  std::vector<std::uint32_t> stamp(m, 0);
+  Rng rng(seed);
+
+  HypergraphNmmResult result;
+
+  // Collects distinct alive hyperedges intersecting e (excluding e).
+  std::vector<HyperedgeId> scratch;
+  auto for_intersecting = [&](HyperedgeId e, std::uint32_t tag,
+                              auto&& fn) {
+    for (NodeId v : h.vertices(e)) {
+      for (HyperedgeId f : h.incident(v)) {
+        if (f == e || !edge_alive[f] || stamp[f] == tag) continue;
+        stamp[f] = tag;
+        fn(f);
+      }
+    }
+  };
+
+  std::uint32_t tag = 0;
+  std::vector<double> intersect_mass(m, 0.0);
+  std::vector<bool> light(m, false);
+  std::vector<bool> marked(m, false);
+
+  for (std::uint32_t it = 0; it < params.max_iterations; ++it) {
+    // Termination: Lemma B.3 — stop once no hyperedge has all its nodes
+    // active and is still alive.
+    bool any_alive = false;
+    for (HyperedgeId e = 0; e < m; ++e) {
+      if (edge_alive[e]) {
+        any_alive = true;
+        break;
+      }
+    }
+    if (!any_alive) {
+      result.drained = true;
+      break;
+    }
+    ++result.iterations;
+
+    // Intersecting probability mass and lightness.
+    for (HyperedgeId e = 0; e < m; ++e) {
+      if (!edge_alive[e]) continue;
+      double mass = p[e];
+      for_intersecting(e, ++tag, [&](HyperedgeId f) { mass += p[f]; });
+      intersect_mass[e] = mass;
+      light[e] = mass < 2.0;
+    }
+
+    // Good rounds per vertex: light probability mass through v.
+    const double good_bar = 1.0 / (2.0 * d * K * K);
+    for (NodeId v = 0; v < h.num_vertices(); ++v) {
+      if (!node_active[v]) continue;
+      double light_mass = 0;
+      for (HyperedgeId e : h.incident(v)) {
+        if (edge_alive[e] && light[e]) light_mass += p[e];
+      }
+      if (light_mass >= good_bar) ++good_count[v];
+    }
+
+    // Marking: e joins if marked and no intersecting alive edge is marked.
+    for (HyperedgeId e = 0; e < m; ++e) {
+      marked[e] = edge_alive[e] && rng.bernoulli(p[e]);
+    }
+    std::vector<HyperedgeId> joined;
+    for (HyperedgeId e = 0; e < m; ++e) {
+      if (!marked[e]) continue;
+      bool lonely = true;
+      for_intersecting(e, ++tag, [&](HyperedgeId f) {
+        if (marked[f]) lonely = false;
+      });
+      if (lonely) joined.push_back(e);
+    }
+    for (HyperedgeId e : joined) {
+      if (!edge_alive[e]) continue;  // killed by an earlier join this round
+      result.matching.push_back(e);
+      edge_alive[e] = false;
+      for_intersecting(e, ++tag,
+                       [&](HyperedgeId f) { edge_alive[f] = false; });
+    }
+
+    // Probability updates (pre-join masses, as in the analysis).
+    for (HyperedgeId e = 0; e < m; ++e) {
+      if (!edge_alive[e]) continue;
+      if (intersect_mass[e] >= 2.0) {
+        p[e] /= K;
+      } else {
+        p[e] = std::min(p[e] * K, 1.0 / K);
+      }
+    }
+
+    // Deactivations.
+    for (NodeId v = 0; v < h.num_vertices(); ++v) {
+      if (!node_active[v] || good_count[v] <= good_threshold) continue;
+      node_active[v] = false;
+      result.deactivated.push_back(v);
+      for (HyperedgeId e : h.incident(v)) edge_alive[e] = false;
+    }
+  }
+  // Distinct joined edges cannot intersect: joins within a round are
+  // mutually non-intersecting (both marked would block), and later rounds
+  // exclude killed edges.
+  DISTAPX_ENSURE(h.is_matching(result.matching));
+  if (!result.drained) {
+    bool any_alive = false;
+    for (HyperedgeId e = 0; e < m; ++e) any_alive = any_alive || edge_alive[e];
+    result.drained = !any_alive;
+  }
+  return result;
+}
+
+}  // namespace distapx

@@ -1,0 +1,42 @@
+// Nearly-maximal matching in low-rank hypergraphs (paper Appendix B.2,
+// Lemma B.3): the tighter-analysis engine behind the (1+ε)-approximation.
+//
+// Each hyperedge e (an augmenting path of rank d = O(1/ε)) carries a
+// marking probability p_t(e) = K^{-j}; it is *light* when the probability
+// mass intersecting it is < 2. A round is *good* for a vertex v when at
+// least 1/(2dK²) of probability mass sits on light hyperedges through v —
+// in such a round v is removed with probability Θ(1/(dK²)). A vertex that
+// survives Θ(dK² log 1/δ) good rounds is deactivated (probability <= δ),
+// and Lemma B.3 guarantees that after O(d² log Δ / log log Δ) rounds no
+// hyperedge has all vertices active — i.e. the found matching is maximal
+// on the active subhypergraph.
+#pragma once
+
+#include "graph/hypergraph.hpp"
+#include "support/random.hpp"
+
+namespace distapx {
+
+struct HypergraphNmmParams {
+  std::uint32_t K = 2;
+  double delta = 0.05;
+  double beta = 1.5;
+  /// Good-round deactivation threshold; 0 = beta * d * K^2 * ln(1/delta).
+  std::uint32_t good_round_threshold = 0;
+  std::uint32_t max_iterations = 1u << 16;
+};
+
+struct HypergraphNmmResult {
+  std::vector<HyperedgeId> matching;
+  std::vector<NodeId> deactivated;
+  std::uint32_t iterations = 0;
+  /// True when the loop ended because no all-active hyperedge remained
+  /// (Lemma B.3's guarantee), not because of the iteration cap.
+  bool drained = false;
+};
+
+HypergraphNmmResult run_hypergraph_nmm(const Hypergraph& h,
+                                       std::uint64_t seed,
+                                       HypergraphNmmParams params = {});
+
+}  // namespace distapx

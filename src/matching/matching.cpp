@@ -1,0 +1,48 @@
+#include "matching/matching.hpp"
+
+#include "support/assert.hpp"
+
+namespace distapx {
+
+std::vector<NodeId> mates_of(const Graph& g,
+                             const std::vector<EdgeId>& matching) {
+  std::vector<NodeId> mate(g.num_nodes(), kInvalidNode);
+  for (EdgeId e : matching) {
+    const auto [u, v] = g.endpoints(e);
+    DISTAPX_ENSURE_MSG(mate[u] == kInvalidNode && mate[v] == kInvalidNode,
+                       "edge set is not a matching");
+    mate[u] = v;
+    mate[v] = u;
+  }
+  return mate;
+}
+
+std::vector<bool> matching_edge_mask(const Graph& g,
+                                     const std::vector<EdgeId>& matching) {
+  std::vector<bool> mask(g.num_edges(), false);
+  for (EdgeId e : matching) {
+    DISTAPX_ENSURE(e < g.num_edges());
+    mask[e] = true;
+  }
+  return mask;
+}
+
+std::vector<EdgeId> complete_matching_greedily(const Graph& g,
+                                               std::vector<EdgeId> matching) {
+  std::vector<bool> used(g.num_nodes(), false);
+  for (EdgeId e : matching) {
+    const auto [u, v] = g.endpoints(e);
+    DISTAPX_ENSURE_MSG(!used[u] && !used[v], "input is not a matching");
+    used[u] = used[v] = true;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (!used[u] && !used[v]) {
+      used[u] = used[v] = true;
+      matching.push_back(e);
+    }
+  }
+  return matching;
+}
+
+}  // namespace distapx

@@ -1,0 +1,34 @@
+// Common types and verifiers for matching algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace distapx {
+
+struct MatchingResult {
+  std::vector<EdgeId> matching;
+  sim::RunMetrics metrics;  ///< zeroed for sequential baselines
+};
+
+/// mate[v] = the node matched to v, or kInvalidNode. Convenience view used
+/// by the augmenting-path machinery.
+std::vector<NodeId> mates_of(const Graph& g,
+                             const std::vector<EdgeId>& matching);
+
+/// Matched-edge membership mask over EdgeIds.
+std::vector<bool> matching_edge_mask(const Graph& g,
+                                     const std::vector<EdgeId>& matching);
+
+/// Greedily extends `matching` to a *maximal* matching of g (edge-id
+/// order). Upgrades nearly-maximal results: Theorem 3.2 leaves a small
+/// fraction of edges undecided; since every uncovered edge is among them,
+/// one more local round of greedy insertion yields a maximal matching and
+/// hence a deterministic 2-approximation floor.
+std::vector<EdgeId> complete_matching_greedily(const Graph& g,
+                                               std::vector<EdgeId> matching);
+
+}  // namespace distapx

@@ -1,0 +1,157 @@
+#include "maxis/exact.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+namespace {
+
+/// Branch & bound state over bitmasks.
+class MaxIsSolver {
+ public:
+  MaxIsSolver(const Graph& g, const NodeWeights& w) : w_(w) {
+    n_ = g.num_nodes();
+    adj_.assign(n_, 0);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto [u, v] = g.endpoints(e);
+      adj_[u] |= std::uint64_t{1} << v;
+      adj_[v] |= std::uint64_t{1} << u;
+    }
+  }
+
+  std::uint64_t solve() {
+    std::uint64_t all = n_ == 64 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << n_) - 1;
+    // Non-positive-weight nodes can never help.
+    for (NodeId v = 0; v < n_; ++v) {
+      if (w_[v] <= 0) all &= ~(std::uint64_t{1} << v);
+    }
+    best_weight_ = 0;
+    best_set_ = 0;
+    recurse(all, 0, 0);
+    return best_set_;
+  }
+
+  [[nodiscard]] Weight best_weight() const noexcept { return best_weight_; }
+
+ private:
+  void recurse(std::uint64_t candidates, std::uint64_t chosen,
+               Weight weight) {
+    if (weight > best_weight_) {
+      best_weight_ = weight;
+      best_set_ = chosen;
+    }
+    if (candidates == 0) return;
+    // Upper bound: all remaining candidates taken.
+    Weight bound = weight;
+    for (std::uint64_t rest = candidates; rest != 0; rest &= rest - 1) {
+      bound += w_[static_cast<NodeId>(std::countr_zero(rest))];
+    }
+    if (bound <= best_weight_) return;
+    // Branch on the candidate with the most candidate-neighbors (fail
+    // first); include it, then exclude it.
+    NodeId pick = 0;
+    int best_deg = -1;
+    for (std::uint64_t rest = candidates; rest != 0; rest &= rest - 1) {
+      const auto v = static_cast<NodeId>(std::countr_zero(rest));
+      const int deg = std::popcount(adj_[v] & candidates);
+      if (deg > best_deg) {
+        best_deg = deg;
+        pick = v;
+      }
+    }
+    const std::uint64_t bit = std::uint64_t{1} << pick;
+    recurse(candidates & ~(adj_[pick] | bit), chosen | bit,
+            weight + w_[pick]);
+    recurse(candidates & ~bit, chosen, weight);
+  }
+
+  const NodeWeights& w_;
+  NodeId n_ = 0;
+  std::vector<std::uint64_t> adj_;
+  Weight best_weight_ = 0;
+  std::uint64_t best_set_ = 0;
+};
+
+}  // namespace
+
+MaxIsResult exact_maxis(const Graph& g, const NodeWeights& w) {
+  DISTAPX_ENSURE_MSG(g.num_nodes() <= 64,
+                     "exact_maxis supports at most 64 nodes; use "
+                     "exact_maxis_forest or a structured family");
+  DISTAPX_ENSURE(w.size() == g.num_nodes());
+  MaxIsSolver solver(g, w);
+  const std::uint64_t set = solver.solve();
+  MaxIsResult result;
+  for (std::uint64_t rest = set; rest != 0; rest &= rest - 1) {
+    result.independent_set.push_back(
+        static_cast<NodeId>(std::countr_zero(rest)));
+  }
+  return result;
+}
+
+MaxIsResult exact_maxis_forest(const Graph& g, const NodeWeights& w) {
+  DISTAPX_ENSURE(w.size() == g.num_nodes());
+  const NodeId n = g.num_nodes();
+  DISTAPX_ENSURE_MSG(g.num_edges() < n || n == 0,
+                     "exact_maxis_forest requires an acyclic graph");
+  // Iterative rooted DP: take[v] = w(v) + sum skip[c]; skip[v] = sum
+  // max(take[c], skip[c]).
+  std::vector<Weight> take(n, 0), skip(n, 0);
+  std::vector<NodeId> parent(n, kInvalidNode), order;
+  std::vector<bool> visited(n, false);
+  order.reserve(n);
+  for (NodeId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    std::vector<NodeId> stack{root};
+    visited[root] = true;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      for (const HalfEdge& he : g.neighbors(v)) {
+        if (!visited[he.to]) {
+          visited[he.to] = true;
+          parent[he.to] = v;
+          stack.push_back(he.to);
+        } else {
+          DISTAPX_ENSURE_MSG(he.to == parent[v],
+                             "cycle detected; not a forest");
+        }
+      }
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    take[v] = w[v];
+    skip[v] = 0;
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (he.to == parent[v]) continue;
+      take[v] += skip[he.to];
+      skip[v] += std::max(take[he.to], skip[he.to]);
+    }
+  }
+  // Reconstruct.
+  MaxIsResult result;
+  std::vector<std::pair<NodeId, bool>> walk;  // (node, may_take)
+  for (NodeId root = 0; root < n; ++root) {
+    if (parent[root] == kInvalidNode) walk.emplace_back(root, true);
+  }
+  while (!walk.empty()) {
+    const auto [v, may_take] = walk.back();
+    walk.pop_back();
+    const bool taking = may_take && take[v] > skip[v];
+    if (taking) result.independent_set.push_back(v);
+    for (const HalfEdge& he : g.neighbors(v)) {
+      if (he.to == parent[v]) continue;
+      walk.emplace_back(he.to, !taking);
+    }
+  }
+  std::sort(result.independent_set.begin(), result.independent_set.end());
+  return result;
+}
+
+}  // namespace distapx

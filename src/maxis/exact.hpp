@@ -1,0 +1,24 @@
+// Exact maximum-weight independent set baselines for ratio measurement.
+//
+// Two regimes:
+//  * exact_maxis — branch & bound over 64-bit adjacency masks (n <= 64);
+//    used by tests and benches on small instances of any topology.
+//  * exact_maxis_forest — O(n) weighted DP on forests; lets Table-1 benches
+//    report true ratios on trees/paths/caterpillars at any scale.
+//
+// (For large bipartite *unweighted* instances, König's theorem via
+// Hopcroft–Karp lives in the matching module: exact_mis_size_bipartite.)
+#pragma once
+
+#include "graph/graph.hpp"
+#include "maxis/maxis.hpp"
+
+namespace distapx {
+
+/// Exact maximum-weight IS; requires g.num_nodes() <= 64.
+MaxIsResult exact_maxis(const Graph& g, const NodeWeights& w);
+
+/// Exact maximum-weight IS on a forest (throws if g has a cycle).
+MaxIsResult exact_maxis_forest(const Graph& g, const NodeWeights& w);
+
+}  // namespace distapx

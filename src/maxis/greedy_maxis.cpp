@@ -1,0 +1,28 @@
+#include "maxis/greedy_maxis.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+
+MaxIsResult greedy_maxis(const Graph& g, const NodeWeights& w) {
+  DISTAPX_ENSURE(w.size() == g.num_nodes());
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return w[a] != w[b] ? w[a] > w[b] : a < b;
+  });
+  std::vector<bool> blocked(g.num_nodes(), false);
+  MaxIsResult result;
+  for (NodeId v : order) {
+    if (blocked[v] || w[v] <= 0) continue;
+    result.independent_set.push_back(v);
+    blocked[v] = true;
+    for (const HalfEdge& he : g.neighbors(v)) blocked[he.to] = true;
+  }
+  return result;
+}
+
+}  // namespace distapx

@@ -1,0 +1,13 @@
+// Sequential weight-greedy MaxIS baseline (pick the heaviest remaining
+// node, discard its neighborhood). Used in benches to contextualize the
+// local-ratio algorithms' quality.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "maxis/maxis.hpp"
+
+namespace distapx {
+
+MaxIsResult greedy_maxis(const Graph& g, const NodeWeights& w);
+
+}  // namespace distapx

@@ -1,0 +1,97 @@
+#include "maxis/local_ratio_base.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace distapx {
+
+void LocalRatioNodeBase::init(sim::Ctx& ctx) {
+  undecided_nbr_.assign(ctx.degree(), true);
+  pending_.assign(ctx.degree(), false);
+  if (w_ <= 0) {
+    announce_removed_and_halt(ctx);
+  }
+}
+
+bool LocalRatioNodeBase::process_control_messages(sim::Ctx& ctx) {
+  bool added_neighbor = false;
+  for (const auto& d : ctx.inbox()) {
+    if (d.msg.type() == kMsgRemoved) {
+      undecided_nbr_[d.port] = false;
+      pending_[d.port] = false;
+    } else if (d.msg.type() == kMsgAdded) {
+      // Only candidates can hear addedToIS (an undecided neighbor would
+      // still be in the sender's pending set, blocking its join).
+      DISTAPX_ENSURE_MSG(role_ == Role::kCandidate,
+                         "undecided node " << ctx.id()
+                                           << " received addedToIS");
+      added_neighbor = true;
+    }
+  }
+  if (added_neighbor) {
+    announce_removed_and_halt(ctx);
+    return false;
+  }
+  return true;
+}
+
+bool LocalRatioNodeBase::try_join(sim::Ctx& ctx) {
+  if (role_ != Role::kCandidate) return true;
+  if (std::any_of(pending_.begin(), pending_.end(),
+                  [](bool p) { return p; })) {
+    return true;
+  }
+  ctx.broadcast(sim::Message(kMsgAdded));
+  ctx.halt(kOutInIs);
+  return false;
+}
+
+bool LocalRatioNodeBase::apply_reductions(sim::Ctx& ctx) {
+  Weight total = 0;
+  for (const auto& d : ctx.inbox()) {
+    if (d.msg.type() != kMsgReduce) continue;
+    DISTAPX_ENSURE_MSG(role_ == Role::kUndecided,
+                       "candidate " << ctx.id() << " received reduce()");
+    total += static_cast<Weight>(d.msg.field(0));
+    // The sender became a candidate; it is no longer undecided.
+    undecided_nbr_[d.port] = false;
+  }
+  if (total == 0) return true;
+  w_ -= total;
+  if (w_ <= 0) {
+    announce_removed_and_halt(ctx);
+    return false;
+  }
+  return true;
+}
+
+void LocalRatioNodeBase::become_candidate(sim::Ctx& ctx, int reduce_bits) {
+  DISTAPX_ASSERT(role_ == Role::kUndecided);
+  role_ = Role::kCandidate;
+  pending_ = undecided_nbr_;
+  sim::Message m(kMsgReduce);
+  m.push(static_cast<std::uint64_t>(w_), reduce_bits);
+  send_to_undecided(ctx, m);
+  w_ = 0;
+}
+
+void LocalRatioNodeBase::send_to_undecided(sim::Ctx& ctx,
+                                           const sim::Message& m) {
+  for (std::uint32_t p = 0; p < undecided_nbr_.size(); ++p) {
+    if (undecided_nbr_[p]) ctx.send(p, m);
+  }
+}
+
+void LocalRatioNodeBase::announce_removed_and_halt(sim::Ctx& ctx) {
+  ctx.broadcast(sim::Message(kMsgRemoved));
+  ctx.halt(kOutNotInIs);
+}
+
+bool LocalRatioNodeBase::has_undecided_neighbor() const {
+  return std::any_of(undecided_nbr_.begin(), undecided_nbr_.end(),
+                     [](bool u) { return u; });
+}
+
+}  // namespace distapx

@@ -1,0 +1,76 @@
+// Shared node-program machinery for the distributed local-ratio MaxIS
+// algorithms (Algorithms 2 and 3).
+//
+// Both algorithms share the removal/addition structure of Sec. 2.2:
+//  * an undecided node tracks which neighbors are still undecided;
+//  * a selected node becomes a *candidate*: it sends reduce(w) to its
+//    undecided neighbors, records them as its `pending` set, and waits;
+//  * a node whose weight drops to zero or below announces removed() and
+//    halts NotInIS;
+//  * a candidate whose pending set has fully resolved (every member
+//    announced removed) joins the IS, announces addedToIS() and halts; a
+//    candidate hearing addedToIS() from any physical neighbor announces
+//    removed() and halts NotInIS.
+//
+// The addition order that emerges is the reverse of candidacy order, which
+// is exactly the stack unwind of Algorithm 1, so Lemma 2.2 applies and the
+// result is a Δ-approximation.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "maxis/maxis.hpp"
+#include "mis/mis.hpp"
+#include "sim/network.hpp"
+
+namespace distapx {
+
+/// Message types shared by the local-ratio node programs.
+enum LocalRatioMsg : std::uint32_t {
+  kMsgLayer = 1,   ///< Alg 2: current weight layer
+  kMsgValue = 2,   ///< Alg 2: MIS-selection value / presence
+  kMsgReduce = 3,  ///< weight reduction amount (sender became candidate)
+  kMsgRemoved = 4, ///< sender halted NotInIS
+  kMsgAdded = 5,   ///< sender joined the IS
+};
+
+/// Base class holding the candidate/undecided bookkeeping.
+class LocalRatioNodeBase : public sim::NodeProgram {
+ protected:
+  enum class Role { kUndecided, kCandidate };
+
+  explicit LocalRatioNodeBase(Weight initial_weight)
+      : w_(initial_weight) {}
+
+  void init(sim::Ctx& ctx) override;
+
+  /// Handles kMsgRemoved / kMsgAdded uniformly; call first every round.
+  /// Returns false if this node halted (caller must return immediately).
+  bool process_control_messages(sim::Ctx& ctx);
+
+  /// If a candidate's pending set is empty, joins the IS (halts). Returns
+  /// false if the node halted.
+  bool try_join(sim::Ctx& ctx);
+
+  /// Applies a batch of kMsgReduce deliveries (undecided nodes only);
+  /// announces removal and halts if the weight drops to <= 0. Returns
+  /// false if the node halted.
+  bool apply_reductions(sim::Ctx& ctx);
+
+  /// Transition to candidate: snapshot pending, send reduce(w) to all
+  /// undecided neighbors, zero the weight.
+  void become_candidate(sim::Ctx& ctx, int reduce_bits);
+
+  void send_to_undecided(sim::Ctx& ctx, const sim::Message& m);
+  void announce_removed_and_halt(sim::Ctx& ctx);
+
+  [[nodiscard]] bool has_undecided_neighbor() const;
+
+  Weight w_;
+  Role role_ = Role::kUndecided;
+  std::vector<bool> undecided_nbr_;  ///< per port
+  std::vector<bool> pending_;        ///< per port; meaningful as candidate
+};
+
+}  // namespace distapx

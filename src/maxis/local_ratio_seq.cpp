@@ -1,0 +1,124 @@
+#include "maxis/local_ratio_seq.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace distapx {
+namespace {
+
+/// Greedy MIS restricted to `eligible` nodes, highest weight first.
+std::vector<NodeId> greedy_is(const Graph& g, const NodeWeights& w,
+                              const std::vector<bool>& eligible) {
+  std::vector<NodeId> order;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (eligible[v]) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return w[a] != w[b] ? w[a] > w[b] : a < b;
+  });
+  std::vector<bool> blocked(g.num_nodes(), false);
+  std::vector<NodeId> set;
+  for (NodeId v : order) {
+    if (blocked[v]) continue;
+    set.push_back(v);
+    for (const HalfEdge& he : g.neighbors(v)) blocked[he.to] = true;
+  }
+  return set;
+}
+
+}  // namespace
+
+MaxIsResult seq_local_ratio_maxis(const Graph& g, const NodeWeights& w_in,
+                                  LocalRatioPolicy policy,
+                                  SeqLocalRatioStats* stats) {
+  DISTAPX_ENSURE(w_in.size() == g.num_nodes());
+  NodeWeights w = w_in;
+  std::vector<bool> alive(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) alive[v] = w[v] > 0;
+
+  std::vector<std::vector<NodeId>> stack;
+  std::uint32_t iterations = 0;
+
+  auto any_alive = [&] {
+    return std::any_of(alive.begin(), alive.end(), [](bool a) { return a; });
+  };
+
+  while (any_alive()) {
+    ++iterations;
+    std::vector<NodeId> u_set;
+    switch (policy) {
+      case LocalRatioPolicy::kSingleMaxWeight: {
+        NodeId best = kInvalidNode;
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          if (alive[v] && (best == kInvalidNode || w[v] > w[best])) best = v;
+        }
+        u_set.push_back(best);
+        break;
+      }
+      case LocalRatioPolicy::kGreedyMis:
+        u_set = greedy_is(g, w, alive);
+        break;
+      case LocalRatioPolicy::kTopLayerMis: {
+        // Topmost layer L_i = {v : 2^{i-1} < w(v) <= 2^i}.
+        int top = -1;
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          if (alive[v]) {
+            top = std::max(
+                top, ceil_log2(static_cast<std::uint64_t>(w[v])));
+          }
+        }
+        std::vector<bool> in_top(g.num_nodes(), false);
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          in_top[v] =
+              alive[v] &&
+              ceil_log2(static_cast<std::uint64_t>(w[v])) == top;
+        }
+        u_set = greedy_is(g, w, in_top);
+        break;
+      }
+    }
+    DISTAPX_ASSERT(!u_set.empty());
+
+    // Weight reduction (Alg 1 lines 9-11): since U is independent, the
+    // amounts are the unmodified w(u) values.
+    std::vector<Weight> amount(u_set.size());
+    for (std::size_t i = 0; i < u_set.size(); ++i) amount[i] = w[u_set[i]];
+    for (std::size_t i = 0; i < u_set.size(); ++i) {
+      const NodeId u = u_set[i];
+      for (const HalfEdge& he : g.neighbors(u)) {
+        if (alive[he.to]) w[he.to] -= amount[i];
+      }
+      w[u] = 0;
+      alive[u] = false;
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (alive[v] && w[v] <= 0) alive[v] = false;
+    }
+    stack.push_back(std::move(u_set));
+  }
+
+  // Unwind (Alg 1 lines 13-14): add u unless a neighbor is already in.
+  std::vector<bool> in_solution(g.num_nodes(), false);
+  MaxIsResult result;
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    for (NodeId u : *it) {
+      bool blocked = false;
+      for (const HalfEdge& he : g.neighbors(u)) {
+        if (in_solution[he.to]) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) {
+        in_solution[u] = true;
+        result.independent_set.push_back(u);
+      }
+    }
+  }
+  if (stats != nullptr) stats->iterations = iterations;
+  return result;
+}
+
+}  // namespace distapx

@@ -1,0 +1,40 @@
+// Algorithm 1: the sequential local-ratio Δ-approximation meta-algorithm
+// for maximum weight independent set (paper Sec. 2.1).
+//
+// Each iteration picks an independent set U of the surviving graph, reduces
+// w(u) from every neighbor of each u ∈ U, pushes U on a stack, and recurses
+// on the positive-weight remainder. Unwinding the stack adds each u that
+// has no neighbor already in the solution. Lemma 2.2 + Theorem 2.1 (the
+// local ratio theorem of [BNBYF+01]) give the Δ-approximation regardless of
+// how U is chosen — the policy only affects iteration count, which is what
+// the distributed algorithms optimize.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "maxis/maxis.hpp"
+#include "support/random.hpp"
+
+namespace distapx {
+
+/// Policy for selecting the independent set U of each iteration.
+enum class LocalRatioPolicy {
+  /// Single maximum-weight node (the classic sequential local ratio
+  /// [BYBFR04]; Θ(n) iterations).
+  kSingleMaxWeight,
+  /// Greedy MIS over all surviving nodes.
+  kGreedyMis,
+  /// Greedy MIS over the topmost weight layer only (the selection
+  /// Algorithm 2 effectively makes; O(log W) iterations).
+  kTopLayerMis,
+};
+
+struct SeqLocalRatioStats {
+  std::uint32_t iterations = 0;
+};
+
+/// Runs Algorithm 1. Nodes with non-positive weight are never selected.
+MaxIsResult seq_local_ratio_maxis(const Graph& g, const NodeWeights& w,
+                                  LocalRatioPolicy policy,
+                                  SeqLocalRatioStats* stats = nullptr);
+
+}  // namespace distapx

@@ -1,0 +1,16 @@
+// Common result type for maximum-weight-independent-set algorithms.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace distapx {
+
+struct MaxIsResult {
+  std::vector<NodeId> independent_set;
+  sim::RunMetrics metrics;  ///< zeroed for sequential algorithms
+};
+
+}  // namespace distapx

@@ -1,0 +1,37 @@
+#include "mis/greedy.hpp"
+
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace distapx {
+
+std::vector<NodeId> greedy_mis(const Graph& g,
+                               const std::vector<NodeId>& order) {
+  DISTAPX_ENSURE(order.size() == g.num_nodes());
+  std::vector<bool> blocked(g.num_nodes(), false);
+  std::vector<NodeId> mis;
+  for (NodeId v : order) {
+    DISTAPX_ENSURE(v < g.num_nodes());
+    if (blocked[v]) continue;
+    mis.push_back(v);
+    blocked[v] = true;
+    for (const HalfEdge& he : g.neighbors(v)) blocked[he.to] = true;
+  }
+  return mis;
+}
+
+std::vector<NodeId> greedy_mis(const Graph& g) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  return greedy_mis(g, order);
+}
+
+std::vector<NodeId> greedy_mis_random(const Graph& g, Rng& rng) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.shuffle(order);
+  return greedy_mis(g, order);
+}
+
+}  // namespace distapx

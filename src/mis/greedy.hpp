@@ -1,0 +1,21 @@
+// Sequential greedy MIS baselines (verification and ablation reference).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace distapx {
+
+/// Greedy MIS scanning nodes in the given order.
+std::vector<NodeId> greedy_mis(const Graph& g,
+                               const std::vector<NodeId>& order);
+
+/// Greedy MIS in id order.
+std::vector<NodeId> greedy_mis(const Graph& g);
+
+/// Greedy MIS in uniformly random order.
+std::vector<NodeId> greedy_mis_random(const Graph& g, Rng& rng);
+
+}  // namespace distapx

@@ -1,0 +1,43 @@
+// Common result types for independent-set algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace distapx {
+
+/// Node outputs used by every IS-producing distributed algorithm.
+enum IsOutput : std::int64_t {
+  kOutNotInIs = 0,
+  kOutInIs = 1,
+  /// Nearly-maximal algorithms may leave nodes undecided (Thm 3.1's small
+  /// failure probability); such nodes halt with this output.
+  kOutUndecided = 2,
+};
+
+/// Result of a distributed IS computation.
+struct IsResult {
+  std::vector<NodeId> independent_set;
+  std::vector<NodeId> undecided;  ///< empty for exact-MIS algorithms
+  sim::RunMetrics metrics;
+};
+
+/// Collects the IS (and undecided leftovers) from per-node outputs.
+inline IsResult collect_is(const std::vector<std::int64_t>& outputs,
+                           sim::RunMetrics metrics) {
+  IsResult r;
+  r.metrics = metrics;
+  for (NodeId v = 0; v < outputs.size(); ++v) {
+    if (outputs[v] == kOutInIs) {
+      r.independent_set.push_back(v);
+    } else if (outputs[v] == kOutUndecided) {
+      r.undecided.push_back(v);
+    }
+  }
+  return r;
+}
+
+}  // namespace distapx

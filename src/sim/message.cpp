@@ -1,0 +1,4 @@
+#include "sim/message.hpp"
+
+// Header-only today; this TU anchors the library target and keeps room for
+// out-of-line growth (e.g. varint packing) without touching call sites.

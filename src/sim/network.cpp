@@ -1,0 +1,189 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace distapx::sim {
+
+std::uint32_t BandwidthPolicy::cap_bits(NodeId n) const {
+  if (!bounded) return 0;
+  // The log term is floored at 8: CONGEST messages hold at least a
+  // constant-size word, and O(log n) bounds only bite asymptotically —
+  // without the floor, toy graphs (n < 256) would reject legal programs.
+  return multiplier *
+         std::max<std::uint32_t>(
+             8, static_cast<std::uint32_t>(
+                    ceil_log2(std::max<NodeId>(n, 2))));
+}
+
+NodeId Ctx::num_nodes() const noexcept { return net_->g_->num_nodes(); }
+std::uint32_t Ctx::degree() const noexcept { return net_->g_->degree(id_); }
+std::uint32_t Ctx::max_degree() const noexcept {
+  return net_->g_->max_degree();
+}
+
+NodeId Ctx::neighbor(std::uint32_t port) const {
+  const auto nbrs = net_->g_->neighbors(id_);
+  DISTAPX_ASSERT(port < nbrs.size());
+  return nbrs[port].to;
+}
+
+std::uint32_t Ctx::port_of(NodeId v) const {
+  const auto nbrs = net_->g_->neighbors(id_);
+  // Adjacency is sorted by neighbor id (GraphBuilder::build).
+  const auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const HalfEdge& he, NodeId x) { return he.to < x; });
+  if (it == nbrs.end() || it->to != v) return UINT32_MAX;
+  return static_cast<std::uint32_t>(it - nbrs.begin());
+}
+
+EdgeId Ctx::edge_of(std::uint32_t port) const {
+  const auto nbrs = net_->g_->neighbors(id_);
+  DISTAPX_ASSERT(port < nbrs.size());
+  return nbrs[port].edge;
+}
+
+std::span<const Delivery> Ctx::inbox() const noexcept {
+  return net_->slots_[id_].inbox;
+}
+
+void Ctx::send(std::uint32_t port, Message m) {
+  auto& slot = net_->slots_[id_];
+  DISTAPX_ENSURE_MSG(port < net_->g_->degree(id_),
+                     "node " << id_ << " sending on invalid port " << port);
+  const auto bits = static_cast<std::uint32_t>(m.total_bits());
+  slot.out_bits_this_round[port] += bits;
+  const NodeId to = neighbor(port);
+  auto& dest = net_->slots_[to];
+  Ctx peer;  // compute arrival port cheaply via the destination's view
+  peer.net_ = net_;
+  peer.id_ = to;
+  const std::uint32_t arrival = peer.port_of(id_);
+  DISTAPX_ASSERT(arrival != UINT32_MAX);
+  dest.pending.push_back(Delivery{arrival, std::move(m)});
+}
+
+void Ctx::broadcast(const Message& m) {
+  const std::uint32_t deg = degree();
+  for (std::uint32_t p = 0; p < deg; ++p) send(p, m);
+}
+
+void Ctx::halt(std::int64_t output) {
+  auto& slot = net_->slots_[id_];
+  slot.halted = true;
+  slot.output = output;
+}
+
+Network::Network(const Graph& g) : g_(&g) {}
+
+RunResult Network::run(const ProgramFactory& factory, const RunOptions& opts) {
+  const NodeId n = g_->num_nodes();
+  cap_bits_ = opts.policy.cap_bits(n);
+  enforce_ = opts.policy.bounded && opts.policy.enforce;
+
+  slots_.clear();
+  slots_.resize(n);
+  const Rng root(opts.seed);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& slot = slots_[v];
+    slot.program = factory(v);
+    DISTAPX_ENSURE(slot.program != nullptr);
+    slot.rng = root.split(v);
+    slot.out_bits_this_round.assign(g_->degree(v), 0);
+  }
+
+  RunResult result;
+  result.metrics.bandwidth_cap = cap_bits_;
+
+  auto sweep = [&](std::uint32_t round_idx, bool is_init) {
+    for (NodeId v = 0; v < n; ++v) {
+      auto& slot = slots_[v];
+      if (slot.halted) continue;
+      Ctx ctx;
+      ctx.net_ = this;
+      ctx.id_ = v;
+      ctx.round_ = round_idx;
+      ctx.rng_ = &slot.rng;
+      if (is_init) {
+        slot.program->init(ctx);
+      } else {
+        slot.program->round(ctx);
+      }
+    }
+    const std::uint64_t msgs_before = result.metrics.messages;
+    const std::uint64_t bits_before = result.metrics.total_bits;
+    deliver_and_account(opts, result.metrics);
+    if (opts.observer) {
+      RoundSample sample;
+      sample.round = round_idx;
+      sample.messages = result.metrics.messages - msgs_before;
+      sample.bits = result.metrics.total_bits - bits_before;
+      for (const auto& slot : slots_) {
+        if (slot.halted) ++sample.nodes_halted;
+      }
+      opts.observer(sample);
+    }
+  };
+
+  sweep(0, /*is_init=*/true);
+
+  auto all_halted = [&] {
+    return std::all_of(slots_.begin(), slots_.end(),
+                       [](const NodeSlot& s) { return s.halted; });
+  };
+
+  std::uint32_t round = 0;
+  while (!all_halted() && round < opts.max_rounds) {
+    ++round;
+    sweep(round, /*is_init=*/false);
+  }
+  result.metrics.rounds = round;
+  result.metrics.completed = all_halted();
+
+  result.outputs.resize(n);
+  result.halted.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    result.outputs[v] = slots_[v].output;
+    result.halted[v] = slots_[v].halted;
+  }
+  return result;
+}
+
+void Network::deliver_and_account(const RunOptions& opts, RunMetrics& metrics) {
+  (void)opts;
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    auto& slot = slots_[v];
+    for (std::uint32_t port = 0; port < slot.out_bits_this_round.size();
+         ++port) {
+      const std::uint32_t bits = slot.out_bits_this_round[port];
+      if (bits == 0) continue;
+      metrics.total_bits += bits;
+      metrics.max_edge_bits = std::max(metrics.max_edge_bits, bits);
+      if (enforce_) {
+        DISTAPX_ENSURE_MSG(
+            bits <= cap_bits_,
+            "CONGEST violation: node " << v << " sent " << bits
+                                       << " bits on one edge in one round"
+                                       << " (cap " << cap_bits_ << ")");
+      }
+      slot.out_bits_this_round[port] = 0;
+    }
+  }
+  // Move pending messages into inboxes for the next round; drop messages
+  // addressed to halted nodes.
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    auto& slot = slots_[v];
+    slot.inbox.clear();
+    if (slot.halted) {
+      slot.pending.clear();
+      continue;
+    }
+    metrics.messages += slot.pending.size();
+    slot.inbox.swap(slot.pending);
+  }
+}
+
+}  // namespace distapx::sim

@@ -1,0 +1,54 @@
+// Always-on invariant checking.
+//
+// distapx is a correctness-first research library: algorithm invariants are
+// enforced in release builds too. DISTAPX_ENSURE throws (it reports a
+// violated precondition or invariant the caller can catch in tests);
+// DISTAPX_ASSERT compiles away in NDEBUG builds and guards internal
+// consistency checks that are too hot to keep in release mode.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace distapx {
+
+/// Thrown when a DISTAPX_ENSURE condition fails.
+class EnsureError final : public std::logic_error {
+ public:
+  explicit EnsureError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ensure_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ENSURE failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw EnsureError(os.str());
+}
+}  // namespace detail
+
+}  // namespace distapx
+
+#define DISTAPX_ENSURE(cond)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::distapx::detail::ensure_fail(#cond, __FILE__, __LINE__, {});       \
+  } while (0)
+
+#define DISTAPX_ENSURE_MSG(cond, msg)                                      \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream distapx_os_;                                      \
+      distapx_os_ << msg;                                                  \
+      ::distapx::detail::ensure_fail(#cond, __FILE__, __LINE__,            \
+                                     distapx_os_.str());                   \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define DISTAPX_ASSERT(cond) ((void)0)
+#else
+#define DISTAPX_ASSERT(cond) DISTAPX_ENSURE(cond)
+#endif

@@ -1,0 +1,48 @@
+// Bit-width bookkeeping for CONGEST message accounting.
+//
+// The CONGEST model caps each edge at O(log n) bits per round. Algorithms
+// declare the width of every field they send; these helpers compute the
+// minimal widths for the value ranges actually used.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace distapx {
+
+/// Bits needed to represent any value in [0, v] (at least 1).
+constexpr int bits_for_value(std::uint64_t v) noexcept {
+  return v == 0 ? 1 : std::bit_width(v);
+}
+
+/// Bits needed to represent any of `count` distinct values (e.g. node IDs
+/// in a graph of `count` nodes). At least 1.
+constexpr int bits_for_count(std::uint64_t count) noexcept {
+  return count <= 1 ? 1 : std::bit_width(count - 1);
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int ceil_log2(std::uint64_t x) noexcept {
+  return x <= 1 ? 0 : std::bit_width(x - 1);
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : std::bit_width(x) - 1;
+}
+
+/// Iterated logarithm base 2 (number of times log2 must be applied to reach
+/// a value <= 1). log_star(1)=0, log_star(2)=1, log_star(16)=3, ...
+constexpr int log_star(double x) noexcept {
+  int it = 0;
+  while (x > 1.0) {
+    // Manual log2 via bit_width on the integer part; precise enough for the
+    // integral arguments used in round-bound formulas.
+    const auto xi = static_cast<std::uint64_t>(x);
+    x = xi >= 2 ? static_cast<double>(std::bit_width(xi) - 1) : 0.0;
+    ++it;
+  }
+  return it;
+}
+
+}  // namespace distapx

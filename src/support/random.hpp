@@ -1,0 +1,71 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every randomized algorithm in distapx takes an explicit 64-bit seed and
+// derives per-node RNG streams from it, so whole simulator runs are
+// reproducible bit-for-bit. The generator is xoshiro256**, seeded through
+// SplitMix64 (the construction recommended by the xoshiro authors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace distapx {
+
+/// SplitMix64 step: used for seeding and for cheap stateless hashing of
+/// (seed, node-id) pairs into independent streams.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mix of two 64-bit values into one well-distributed 64-bit value.
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can be used with <random> and
+/// <algorithm> facilities, but the members below avoid libstdc++
+/// distribution objects so results are identical across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Derives an independent stream for a sub-entity (e.g. a node id).
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const noexcept;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from [0, n). Requires k <= n.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace distapx

@@ -1,0 +1,40 @@
+// Small statistics toolkit for the benchmark harness: streaming summaries,
+// percentiles and least-squares fits used to report round-complexity shapes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace distapx {
+
+/// Streaming min/max/mean/variance accumulator (Welford).
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample standard deviation (0 for fewer than two observations).
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0, sum_ = 0;
+};
+
+/// Percentile of a sample (linear interpolation); q in [0,1].
+double percentile(std::vector<double> xs, double q);
+
+/// Least-squares fit y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;
+};
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+}  // namespace distapx

@@ -1,0 +1,36 @@
+// Console table / CSV rendering for the benchmark harness.
+//
+// Benches print the same rows/series the paper's Table 1 reports; Table
+// keeps formatting concerns out of the experiment code.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace distapx {
+
+/// Column-aligned console table that can also dump itself as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `prec` significant decimals.
+  static std::string fmt(double v, int prec = 3);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace distapx

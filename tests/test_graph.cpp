@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algos.hpp"
+#include "graph/bipartite.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/hypergraph.hpp"
+#include "graph/line_graph.hpp"
+#include "support/assert.hpp"
+#include "test_helpers.hpp"
+
+namespace distapx {
+namespace {
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), EnsureError);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), EnsureError);
+}
+
+TEST(GraphBuilder, RejectsParallelEdgesAtBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  EXPECT_THROW(b.build(), EnsureError);
+}
+
+TEST(GraphBuilder, AddEdgeIfAbsentDeduplicates) {
+  GraphBuilder b(3);
+  const EdgeId e1 = b.add_edge_if_absent(0, 1);
+  const EdgeId e2 = b.add_edge_if_absent(1, 0);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(b.num_edges(), 1u);
+}
+
+TEST(Graph, CsrStructure) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  // Adjacency sorted by neighbor id.
+  const auto nbrs = g.neighbors(0);
+  EXPECT_EQ(nbrs[0].to, 1u);
+  EXPECT_EQ(nbrs[1].to, 2u);
+  EXPECT_EQ(g.find_edge(2, 3), g.find_edge(3, 2));
+  EXPECT_EQ(g.find_edge(1, 3), kInvalidEdge);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.other_endpoint(g.find_edge(0, 2), 0), 2u);
+}
+
+TEST(Generators, PathCycleStar) {
+  const Graph p = gen::path(5);
+  EXPECT_EQ(p.num_edges(), 4u);
+  EXPECT_EQ(p.max_degree(), 2u);
+  const Graph c = gen::cycle(5);
+  EXPECT_EQ(c.num_edges(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(c.degree(v), 2u);
+  const Graph s = gen::star(6);
+  EXPECT_EQ(s.num_edges(), 5u);
+  EXPECT_EQ(s.degree(0), 5u);
+  EXPECT_THROW(gen::cycle(2), EnsureError);
+}
+
+TEST(Generators, CompleteAndBipartite) {
+  const Graph k = gen::complete(6);
+  EXPECT_EQ(k.num_edges(), 15u);
+  const Graph kb = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(kb.num_edges(), 12u);
+  EXPECT_TRUE(try_bipartition(kb).has_value());
+}
+
+TEST(Generators, GridAndHypercube) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);
+  const Graph h = gen::hypercube(4);
+  EXPECT_EQ(h.num_nodes(), 16u);
+  EXPECT_EQ(h.num_edges(), 32u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(h.degree(v), 4u);
+}
+
+TEST(Generators, GnpEdgeCountMatchesExpectation) {
+  Rng rng(42);
+  const Graph g = gen::gnp(400, 0.05, rng);
+  const double expected = 0.05 * 400 * 399 / 2;
+  EXPECT_GT(g.num_edges(), expected * 0.8);
+  EXPECT_LT(g.num_edges(), expected * 1.2);
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(1);
+  EXPECT_EQ(gen::gnp(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gen::gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(64, 4, rng);
+  EXPECT_LE(g.max_degree(), 4u);
+  std::size_t full = 0;
+  for (NodeId v = 0; v < 64; ++v) full += g.degree(v) == 4 ? 1 : 0;
+  EXPECT_GE(full, 60u);  // pairing model nearly always succeeds fully
+  EXPECT_THROW(gen::random_regular(5, 3, rng), EnsureError);
+}
+
+TEST(Generators, RandomBoundedDegreeRespectsCap) {
+  Rng rng(8);
+  const Graph g = gen::random_bounded_degree(100, 5, rng);
+  EXPECT_LE(g.max_degree(), 5u);
+  EXPECT_GT(g.num_edges(), 50u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(9);
+  for (NodeId n : {1u, 2u, 3u, 10u, 100u}) {
+    const Graph t = gen::random_tree(n, rng);
+    EXPECT_EQ(t.num_edges(), n - 1);
+    const auto comp = connected_components(t);
+    EXPECT_TRUE(std::all_of(comp.begin(), comp.end(),
+                            [](std::uint32_t c) { return c == 0; }));
+  }
+}
+
+TEST(Generators, PowerLawProducesSkew) {
+  Rng rng(10);
+  const Graph g = gen::power_law(200, 2.5, 4.0, rng);
+  EXPECT_GT(g.num_edges(), 100u);
+  EXPECT_GT(g.max_degree(), 8u);  // head of the distribution
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = gen::caterpillar(3, 2);
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_EQ(g.num_edges(), 2u + 6u);
+}
+
+TEST(Generators, Weights) {
+  Rng rng(11);
+  const auto w = gen::uniform_node_weights(100, 50, rng);
+  EXPECT_TRUE(std::all_of(w.begin(), w.end(),
+                          [](Weight x) { return x >= 1 && x <= 50; }));
+  const auto we = gen::exponential_node_weights(100, 1 << 16, rng);
+  EXPECT_TRUE(std::all_of(we.begin(), we.end(), [](Weight x) {
+    return x >= 1 && x <= (1 << 16);
+  }));
+  EXPECT_EQ(gen::unit_node_weights(5), NodeWeights(5, 1));
+}
+
+TEST(LineGraph, PathBecomesPath) {
+  const Graph p = gen::path(5);
+  const LineGraph lg(p);
+  EXPECT_EQ(lg.graph().num_nodes(), 4u);
+  EXPECT_EQ(lg.graph().num_edges(), 3u);
+  EXPECT_EQ(lg.graph().max_degree(), 2u);
+}
+
+TEST(LineGraph, StarBecomesComplete) {
+  const Graph s = gen::star(5);
+  const LineGraph lg(s);
+  EXPECT_EQ(lg.graph().num_nodes(), 4u);
+  EXPECT_EQ(lg.graph().num_edges(), 6u);  // K4
+}
+
+TEST(LineGraph, CycleBecomesCycle) {
+  const Graph c = gen::cycle(6);
+  const LineGraph lg(c);
+  EXPECT_EQ(lg.graph().num_nodes(), 6u);
+  EXPECT_EQ(lg.graph().num_edges(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(lg.graph().degree(v), 2u);
+}
+
+TEST(LineGraph, DegreeFormula) {
+  Rng rng(12);
+  const Graph g = gen::gnp(30, 0.2, rng);
+  const LineGraph lg(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    EXPECT_EQ(lg.graph().degree(lg.line_node(e)),
+              g.degree(u) + g.degree(v) - 2);
+  }
+}
+
+TEST(LineGraph, ToMatchingMapsBack) {
+  const Graph p = gen::path(5);
+  const LineGraph lg(p);
+  const auto matching = lg.to_matching({0, 2});
+  EXPECT_EQ(matching, (std::vector<EdgeId>{0, 2}));
+  EXPECT_TRUE(is_matching(p, matching));
+}
+
+TEST(Bipartite, EvenCycleYes) {
+  EXPECT_TRUE(try_bipartition(gen::cycle(8)).has_value());
+}
+
+TEST(Bipartite, OddCycleNo) {
+  EXPECT_FALSE(try_bipartition(gen::cycle(9)).has_value());
+}
+
+TEST(Bipartite, PartitionIsProper) {
+  Rng rng(13);
+  const Graph g = gen::bipartite_gnp(20, 25, 0.2, rng);
+  const auto parts = try_bipartition(g);
+  ASSERT_TRUE(parts.has_value());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    EXPECT_NE(parts->side[u], parts->side[v]);
+  }
+}
+
+TEST(Bipartite, BichromaticMask) {
+  Rng rng(14);
+  const Graph g = gen::complete(6);
+  const Bipartition parts = random_bipartition(6, rng);
+  const auto mask = bichromatic_edge_mask(g, parts);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    EXPECT_EQ(mask[e], parts.side[u] != parts.side[v]);
+  }
+}
+
+TEST(Hypergraph, BasicsAndIntersection) {
+  Hypergraph h(6, {{0, 1, 2}, {2, 3}, {4, 5}});
+  EXPECT_EQ(h.num_vertices(), 6u);
+  EXPECT_EQ(h.num_hyperedges(), 3u);
+  EXPECT_EQ(h.rank(), 3u);
+  EXPECT_TRUE(h.intersects(0, 1));
+  EXPECT_FALSE(h.intersects(0, 2));
+  EXPECT_TRUE(h.is_matching({0, 2}));
+  EXPECT_FALSE(h.is_matching({0, 1}));
+  EXPECT_EQ(h.incident(2).size(), 2u);
+}
+
+TEST(Hypergraph, RejectsRepeatedVertex) {
+  EXPECT_THROW(Hypergraph(3, {{0, 0, 1}}), EnsureError);
+}
+
+TEST(Algos, BfsDistances) {
+  const Graph p = gen::path(6);
+  const auto d = bfs_distances(p, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const auto d2 = bfs_distances(b.build(), 0);
+  EXPECT_EQ(d2[2], kUnreachable);
+}
+
+TEST(Algos, ConnectedComponents) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(3, 4);
+  const auto comp = connected_components(b.build());
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[2], comp[3]);
+}
+
+TEST(Algos, DegeneracyOfStructuredGraphs) {
+  std::uint32_t d = 0;
+  degeneracy_order(gen::path(10), &d);
+  EXPECT_EQ(d, 1u);
+  degeneracy_order(gen::cycle(10), &d);
+  EXPECT_EQ(d, 2u);
+  degeneracy_order(gen::complete(6), &d);
+  EXPECT_EQ(d, 5u);
+  const auto order = degeneracy_order(gen::star(8), &d);
+  EXPECT_EQ(d, 1u);
+  EXPECT_EQ(order.size(), 8u);
+}
+
+TEST(Algos, IndependentSetChecks) {
+  const Graph p = gen::path(5);
+  EXPECT_TRUE(is_independent_set(p, {0, 2, 4}));
+  EXPECT_FALSE(is_independent_set(p, {0, 1}));
+  EXPECT_FALSE(is_independent_set(p, {0, 0}));
+  EXPECT_TRUE(is_maximal_independent_set(p, {0, 2, 4}));
+  EXPECT_TRUE(is_maximal_independent_set(p, {0, 3}));
+  EXPECT_FALSE(is_maximal_independent_set(p, {1}));  // node 4 uncovered
+}
+
+TEST(Algos, MatchingChecks) {
+  const Graph p = gen::path(5);  // edges 0:(0,1) 1:(1,2) 2:(2,3) 3:(3,4)
+  EXPECT_TRUE(is_matching(p, {0, 2}));
+  EXPECT_FALSE(is_matching(p, {0, 1}));
+  EXPECT_FALSE(is_matching(p, {0, 0}));
+  EXPECT_TRUE(is_maximal_matching(p, {0, 2}));
+  EXPECT_FALSE(is_maximal_matching(p, {0}));
+  EXPECT_TRUE(is_maximal_matching(p, {1, 3}));
+}
+
+TEST(Algos, WeightHelpers) {
+  NodeWeights w{1, 2, 3};
+  EXPECT_EQ(set_weight(w, {0, 2}), 4);
+  EdgeWeights ew{5, 7};
+  EXPECT_EQ(matching_weight(ew, {1}), 7);
+}
+
+TEST(Algos, InducedSubgraph) {
+  const Graph p = gen::path(5);
+  std::vector<bool> keep{true, true, false, true, true};
+  const auto sub = induced_subgraph(p, keep);
+  EXPECT_EQ(sub.graph.num_nodes(), 4u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);  // (0,1) and (3,4)
+  EXPECT_EQ(sub.original_id[sub.new_id[3]], 3u);
+  EXPECT_EQ(sub.new_id[2], kInvalidNode);
+}
+
+TEST(Algos, EdgeSubgraph) {
+  const Graph p = gen::path(4);
+  std::vector<bool> mask{true, false, true};
+  const auto sub = edge_subgraph(p, mask);
+  EXPECT_EQ(sub.graph.num_nodes(), 4u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_EQ(sub.original_edge, (std::vector<EdgeId>{0, 2}));
+}
+
+TEST(Families, HelpersProduceValidGraphs) {
+  for (const auto& fc : test::small_families(3)) {
+    EXPECT_GE(fc.graph.num_nodes(), 1u) << fc.name;
+  }
+  for (const auto& fc : test::medium_families(3)) {
+    EXPECT_GE(fc.graph.num_nodes(), 100u) << fc.name;
+  }
+}
+
+}  // namespace
+}  // namespace distapx

@@ -1,0 +1,51 @@
+#include "test_helpers.hpp"
+
+#include <bit>
+
+#include "support/assert.hpp"
+
+namespace distapx::test {
+
+Weight brute_force_maxis_weight(const Graph& g, const NodeWeights& w) {
+  const NodeId n = g.num_nodes();
+  DISTAPX_ENSURE(n <= 20);
+  std::vector<std::uint32_t> adj(n, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    adj[u] |= 1u << v;
+    adj[v] |= 1u << u;
+  }
+  Weight best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Weight total = 0;
+    bool ok = true;
+    for (std::uint32_t rest = mask; rest != 0 && ok; rest &= rest - 1) {
+      const auto v = static_cast<NodeId>(std::countr_zero(rest));
+      if ((adj[v] & mask) != 0) ok = false;
+      total += w[v];
+    }
+    if (ok && total > best) best = total;
+  }
+  return best;
+}
+
+namespace {
+std::size_t mcm_rec(const Graph& g, EdgeId e, std::uint32_t used_mask) {
+  if (e == g.num_edges()) return 0;
+  std::size_t best = mcm_rec(g, e + 1, used_mask);
+  const auto [u, v] = g.endpoints(e);
+  if (((used_mask >> u) & 1) == 0 && ((used_mask >> v) & 1) == 0) {
+    best = std::max(best, 1 + mcm_rec(g, e + 1,
+                                      used_mask | (1u << u) | (1u << v)));
+  }
+  return best;
+}
+}  // namespace
+
+std::size_t brute_force_mcm_size(const Graph& g) {
+  DISTAPX_ENSURE(g.num_nodes() <= 32);
+  DISTAPX_ENSURE(g.num_edges() <= 48);
+  return mcm_rec(g, 0, 0);
+}
+
+}  // namespace distapx::test

@@ -1,0 +1,61 @@
+// Shared fixtures and generators for the distapx test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace distapx::test {
+
+/// A named small graph family instance for parameterized suites.
+struct FamilyCase {
+  std::string name;
+  Graph graph;
+};
+
+/// Small graphs (n <= ~24) where exact baselines are cheap.
+inline std::vector<FamilyCase> small_families(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FamilyCase> cases;
+  cases.push_back({"path16", gen::path(16)});
+  cases.push_back({"cycle15", gen::cycle(15)});
+  cases.push_back({"cycle16", gen::cycle(16)});
+  cases.push_back({"star12", gen::star(12)});
+  cases.push_back({"complete8", gen::complete(8)});
+  cases.push_back({"bipartite_4_5", gen::complete_bipartite(4, 5)});
+  cases.push_back({"grid4x4", gen::grid(4, 4)});
+  cases.push_back({"hypercube3", gen::hypercube(3)});
+  cases.push_back({"gnp16_sparse", gen::gnp(16, 0.15, rng)});
+  cases.push_back({"gnp16_dense", gen::gnp(16, 0.5, rng)});
+  cases.push_back({"tree20", gen::random_tree(20, rng)});
+  cases.push_back({"caterpillar", gen::caterpillar(4, 3)});
+  cases.push_back({"regular_12_3", gen::random_regular(12, 3, rng)});
+  return cases;
+}
+
+/// Medium graphs for distributed runs (no exact baseline needed or
+/// structured ones available).
+inline std::vector<FamilyCase> medium_families(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FamilyCase> cases;
+  cases.push_back({"path200", gen::path(200)});
+  cases.push_back({"cycle201", gen::cycle(201)});
+  cases.push_back({"grid12x12", gen::grid(12, 12)});
+  cases.push_back({"gnp200", gen::gnp(200, 0.03, rng)});
+  cases.push_back({"tree300", gen::random_tree(300, rng)});
+  cases.push_back({"regular_128_4", gen::random_regular(128, 4, rng)});
+  cases.push_back({"bipartite_60_60", gen::bipartite_gnp(60, 60, 0.05, rng)});
+  cases.push_back({"powerlaw150", gen::power_law(150, 2.5, 4.0, rng)});
+  return cases;
+}
+
+/// Brute-force exact MaxIS weight by subset enumeration; n <= 20.
+Weight brute_force_maxis_weight(const Graph& g, const NodeWeights& w);
+
+/// Brute-force exact MCM size by edge-subset search; small graphs only.
+std::size_t brute_force_mcm_size(const Graph& g);
+
+}  // namespace distapx::test

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+#include "test_helpers.hpp"
+
+namespace distapx {
+namespace {
+
+TEST(GraphIo, RoundTripsUnweighted) {
+  Rng rng(1);
+  const Graph g = gen::gnp(40, 0.1, rng);
+  std::stringstream ss;
+  io::write_edge_list(ss, g);
+  const auto loaded = io::read_edge_list(ss);
+  EXPECT_EQ(loaded.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.graph.num_edges(), g.num_edges());
+  EXPECT_FALSE(loaded.edge_weights.has_value());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(loaded.graph.endpoints(e), g.endpoints(e));
+  }
+}
+
+TEST(GraphIo, RoundTripsWeighted) {
+  Rng rng(2);
+  const Graph g = gen::cycle(12);
+  const auto w = gen::uniform_edge_weights(g.num_edges(), 50, rng);
+  std::stringstream ss;
+  io::write_edge_list(ss, g, &w);
+  const auto loaded = io::read_edge_list(ss);
+  ASSERT_TRUE(loaded.edge_weights.has_value());
+  EXPECT_EQ(*loaded.edge_weights, w);
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\n3 2\n# edge block\n0 1\n\n1 2 # trailing\n");
+  const auto loaded = io::read_edge_list(ss);
+  EXPECT_EQ(loaded.graph.num_nodes(), 3u);
+  EXPECT_EQ(loaded.graph.num_edges(), 2u);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(io::read_edge_list(ss), EnsureError);
+  }
+  {
+    std::stringstream ss("3 2\n0 1\n");  // missing edge
+    EXPECT_THROW(io::read_edge_list(ss), EnsureError);
+  }
+  {
+    std::stringstream ss("2 1\n0 5\n");  // endpoint out of range
+    EXPECT_THROW(io::read_edge_list(ss), EnsureError);
+  }
+  {
+    std::stringstream ss("3 2\n0 1 7\n1 2\n");  // mixed weighted/unweighted
+    EXPECT_THROW(io::read_edge_list(ss), EnsureError);
+  }
+}
+
+TEST(GraphIo, NodeWeightsRoundTrip) {
+  const NodeWeights w{5, -3, 12, 1};
+  std::stringstream ss;
+  io::write_node_weights(ss, w);
+  EXPECT_EQ(io::read_node_weights(ss), w);
+}
+
+TEST(GraphIo, FileHelpers) {
+  Rng rng(3);
+  const Graph g = gen::random_tree(20, rng);
+  const std::string path = "/tmp/distapx_io_test.graph";
+  io::save_edge_list(path, g);
+  const auto loaded = io::load_edge_list(path);
+  EXPECT_EQ(loaded.graph.num_edges(), g.num_edges());
+  EXPECT_THROW(io::load_edge_list("/nonexistent/dir/x.graph"), EnsureError);
+}
+
+TEST(LogUniformWeights, CoversAllLayers) {
+  Rng rng(4);
+  const auto w = gen::log_uniform_node_weights(4000, 1 << 10, rng);
+  std::vector<int> layer_count(11, 0);
+  for (Weight x : w) {
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 1 << 10);
+    ++layer_count[ceil_log2(static_cast<std::uint64_t>(x))];
+  }
+  // Every layer 1..10 should be substantially populated.
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_GT(layer_count[i], 100) << "layer " << i;
+  }
+}
+
+}  // namespace
+}  // namespace distapx

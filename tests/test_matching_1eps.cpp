@@ -1,0 +1,394 @@
+// Appendix B.2/B.3 tests: hypergraph NMM, the LOCAL (1+ε) framework, the
+// bipartite CONGEST augmenting-path machinery, and Theorem B.12.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "graph/algos.hpp"
+#include "graph/generators.hpp"
+#include "matching/bipartite_paths.hpp"
+#include "matching/blossom.hpp"
+#include "matching/hk_framework.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/hypergraph_nmm.hpp"
+#include "matching/mcm_congest.hpp"
+#include "test_helpers.hpp"
+
+namespace distapx {
+namespace {
+
+// ---- hypergraph nearly-maximal matching ------------------------------------
+
+Hypergraph random_hypergraph(NodeId n, HyperedgeId m, std::uint32_t rank,
+                             Rng& rng) {
+  std::vector<std::vector<NodeId>> edges;
+  for (HyperedgeId e = 0; e < m; ++e) {
+    const auto size = 2 + rng.next_below(rank - 1);
+    const auto verts = rng.sample_without_replacement(
+        n, static_cast<std::uint32_t>(size));
+    edges.emplace_back(verts.begin(), verts.end());
+  }
+  return Hypergraph(n, std::move(edges));
+}
+
+class HypergraphNmmSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypergraphNmmSeeds, MatchingAndMaximalityOnActive) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  const Hypergraph h = random_hypergraph(60, 120, 4, rng);
+  const auto res = run_hypergraph_nmm(h, seed);
+  EXPECT_TRUE(h.is_matching(res.matching));
+  EXPECT_TRUE(res.drained);
+  // Maximality on active nodes: every hyperedge with all nodes active must
+  // intersect the matching.
+  std::vector<bool> active(h.num_vertices(), true);
+  for (NodeId v : res.deactivated) active[v] = false;
+  std::vector<bool> covered(h.num_vertices(), false);
+  for (HyperedgeId e : res.matching) {
+    for (NodeId v : h.vertices(e)) covered[v] = true;
+  }
+  for (HyperedgeId e = 0; e < h.num_hyperedges(); ++e) {
+    bool all_active = true, touches = false;
+    for (NodeId v : h.vertices(e)) {
+      all_active = all_active && active[v];
+      touches = touches || covered[v];
+    }
+    EXPECT_TRUE(!all_active || touches) << "hyperedge " << e;
+  }
+  // Deactivation should be rare (Lemma B.10; δ = 0.05).
+  EXPECT_LE(res.deactivated.size(), h.num_vertices() / 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypergraphNmmSeeds, ::testing::Range(1, 8));
+
+TEST(HypergraphNmm, Rank2MatchesGraphSemantics) {
+  // A rank-2 hypergraph is a graph: NMM should produce a matching that is
+  // near-maximal in the usual sense.
+  Rng rng(3);
+  std::vector<std::vector<NodeId>> edges;
+  const Graph g = gen::gnp(40, 0.1, rng);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    edges.push_back({u, v});
+  }
+  Hypergraph h(40, std::move(edges));
+  const auto res = run_hypergraph_nmm(h, 3);
+  std::vector<EdgeId> matching(res.matching.begin(), res.matching.end());
+  EXPECT_TRUE(is_matching(g, matching));
+}
+
+TEST(HypergraphNmm, EmptyAndSingleton) {
+  Hypergraph empty(5, {});
+  const auto res = run_hypergraph_nmm(empty, 1);
+  EXPECT_TRUE(res.matching.empty());
+  EXPECT_TRUE(res.drained);
+  Hypergraph single(3, {{0, 1, 2}});
+  const auto res1 = run_hypergraph_nmm(single, 1);
+  EXPECT_EQ(res1.matching.size(), 1u);
+}
+
+// ---- LOCAL (1+ε) framework --------------------------------------------------
+
+class HkLocalSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(HkLocalSeeds, GreedyModeGivesOnePlusEps) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  const Graph g = gen::gnp(60, 0.08, rng);
+  HkApproxParams params;
+  params.epsilon = 1.0 / 3.0;
+  params.algo = PathSetAlgo::kGreedyMaximal;
+  const auto res = run_hk_matching_local(g, seed, params);
+  EXPECT_TRUE(is_matching(g, res.matching));
+  const std::size_t opt = blossom_mcm(g).matching.size();
+  EXPECT_GE(res.matching.size() * (1.0 + params.epsilon),
+            static_cast<double>(opt))
+      << "seed " << seed;
+  EXPECT_TRUE(res.deactivated.empty());
+  // HK fact (1): no augmenting path of length <= 2⌈1/ε⌉+1 remains.
+  const auto mate = mates_of(g, res.matching);
+  EXPECT_EQ(shortest_augmenting_path_length(g, mate, 7), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HkLocalSeeds, ::testing::Range(1, 7));
+
+class HkNmmSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(HkNmmSeeds, NmmModeGivesOnePlusEpsOnActive) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  const Graph g = gen::gnp(50, 0.1, rng);
+  HkApproxParams params;
+  params.epsilon = 1.0 / 3.0;
+  params.algo = PathSetAlgo::kHypergraphNmm;
+  const auto res = run_hk_matching_local(g, seed, params);
+  EXPECT_TRUE(is_matching(g, res.matching));
+  const std::size_t opt = blossom_mcm(g).matching.size();
+  // Deactivations may cost a little; Theorem B.4 accounting.
+  EXPECT_GE((res.matching.size() + res.deactivated.size()) *
+                (1.0 + params.epsilon),
+            static_cast<double>(opt))
+      << "seed " << seed;
+  // No augmenting path among non-deactivated nodes.
+  std::vector<bool> active(g.num_nodes(), true);
+  for (NodeId v : res.deactivated) active[v] = false;
+  const auto mate = mates_of(g, res.matching);
+  EXPECT_EQ(shortest_augmenting_path_length(g, mate, 7, active), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HkNmmSeeds, ::testing::Range(1, 6));
+
+TEST(HkLocal, PerfectOnEvenPath) {
+  const Graph p = gen::path(10);
+  HkApproxParams params;
+  params.epsilon = 0.2;
+  params.algo = PathSetAlgo::kGreedyMaximal;
+  const auto res = run_hk_matching_local(p, 1, params);
+  EXPECT_EQ(res.matching.size(), 5u);
+}
+
+// ---- bipartite traversal (Claims B.5/B.6, Figure 1) -------------------------
+
+/// Brute-force per-node count of length-d augmenting paths (d = shortest).
+std::vector<double> brute_counts(const Graph& g,
+                                 const std::vector<NodeId>& mate,
+                                 std::uint32_t d) {
+  std::vector<double> counts(g.num_nodes(), 0.0);
+  for (const auto& path : enumerate_augmenting_paths(g, mate, d)) {
+    for (NodeId v : path) counts[v] += 1.0;
+  }
+  return counts;
+}
+
+class TraversalSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraversalSeeds, CountsMatchBruteForce) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  const Graph g = gen::bipartite_gnp(10, 10, 0.25, rng);
+  const auto parts = try_bipartition(g);
+  ASSERT_TRUE(parts.has_value());
+  std::vector<NodeId> mate(g.num_nodes(), kInvalidNode);
+  std::vector<EdgeId> matched_edge(g.num_nodes(), kInvalidEdge);
+
+  for (std::uint32_t d = 1; d <= 5; d += 2) {
+    // Establish the precondition: flip all shorter paths maximally.
+    for (std::uint32_t s = 1; s < d; s += 2) {
+      for (;;) {
+        const auto paths = enumerate_augmenting_paths(g, mate, s);
+        if (paths.empty()) break;
+        std::vector<bool> used(g.num_nodes(), false);
+        bool any = false;
+        for (const auto& path : paths) {
+          if (std::any_of(path.begin(), path.end(),
+                          [&](NodeId v) { return used[v]; })) {
+            continue;
+          }
+          for (NodeId v : path) used[v] = true;
+          flip_augmenting_path(g, mate, matched_edge, path);
+          any = true;
+        }
+        if (!any) break;
+      }
+    }
+    if (shortest_augmenting_path_length(g, mate, d) != d) continue;
+    const auto traversal =
+        count_augmenting_paths_per_node(g, *parts, mate, d);
+    const auto brute = brute_counts(g, mate, d);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(traversal[v], brute[v], 1e-6)
+          << "d=" << d << " node " << v << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraversalSeeds, ::testing::Range(1, 10));
+
+TEST(Traversal, Figure1StyleManualGraph) {
+  // A small instance mirroring Figure 1's structure: 4 A-nodes, 4 B-nodes,
+  // a partial matching, count the length-3 augmenting paths by hand.
+  GraphBuilder b(8);  // A = {0,1,2,3}, B = {4,5,6,7}
+  // matching: (1,5), (2,6)
+  b.add_edge(0, 5);  // free A 0 -> matched B 5
+  b.add_edge(1, 5);
+  b.add_edge(1, 4);  // matched A 1 -> free B 4
+  b.add_edge(0, 6);
+  b.add_edge(2, 6);
+  b.add_edge(2, 7);  // matched A 2 -> free B 7
+  const Graph g = b.build();
+  Bipartition parts;
+  parts.side.assign(8, Side::kRight);
+  for (NodeId v = 0; v < 4; ++v) parts.side[v] = Side::kLeft;
+  std::vector<NodeId> mate(8, kInvalidNode);
+  mate[1] = 5;
+  mate[5] = 1;
+  mate[2] = 6;
+  mate[6] = 2;
+  // Length-3 augmenting paths from free A (0,3): 0-5-1-4 and 0-6-2-7.
+  const auto counts = count_augmenting_paths_per_node(g, parts, mate, 3);
+  EXPECT_DOUBLE_EQ(counts[0], 2.0);
+  EXPECT_DOUBLE_EQ(counts[1], 1.0);
+  EXPECT_DOUBLE_EQ(counts[2], 1.0);
+  EXPECT_DOUBLE_EQ(counts[4], 1.0);
+  EXPECT_DOUBLE_EQ(counts[7], 1.0);
+  EXPECT_DOUBLE_EQ(counts[3], 0.0);
+}
+
+class FindFlipSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FindFlipSeeds, FlipsDisjointPathsUntilDrained) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  const Graph g = gen::bipartite_gnp(15, 15, 0.2, rng);
+  const auto parts = try_bipartition(g);
+  ASSERT_TRUE(parts.has_value());
+  std::vector<NodeId> mate(g.num_nodes(), kInvalidNode);
+  std::vector<bool> active(g.num_nodes(), true);
+  Rng search_rng(hash_combine(seed, 1));
+
+  for (std::uint32_t d = 1; d <= 5; d += 2) {
+    AugPathSearchParams params;
+    params.d = d;
+    const auto res = find_and_flip_aug_paths_bipartite(
+        g, *parts, mate, active, params, search_rng);
+    EXPECT_TRUE(res.drained) << "d=" << d;
+    for (const auto& path : res.flipped) {
+      EXPECT_EQ(path.size(), d + 1) << "d=" << d;
+    }
+    // No length-d augmenting path among active nodes remains.
+    EXPECT_EQ(shortest_augmenting_path_length(g, mate, d, active), 0u)
+        << "d=" << d << " seed " << seed;
+  }
+  // The matching view must still be consistent.
+  std::size_t matched = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (mate[v] != kInvalidNode) {
+      EXPECT_EQ(mate[mate[v]], v);
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched % 2, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FindFlipSeeds, ::testing::Range(1, 8));
+
+// ---- Theorem B.12 ------------------------------------------------------------
+
+class McmCongestSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(McmCongestSeeds, OnePlusEpsOnGeneralGraphs) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  const Graph g = gen::gnp(60, 0.08, rng);
+  McmCongestParams params;
+  params.epsilon = 1.0 / 3.0;
+  const auto res = run_mcm_1eps_congest(g, seed, params);
+  EXPECT_TRUE(is_matching(g, res.matching));
+  const std::size_t opt = blossom_mcm(g).matching.size();
+  EXPECT_GE((res.matching.size() + res.deactivated.size()) *
+                (1.0 + params.epsilon),
+            static_cast<double>(opt))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McmCongestSeeds, ::testing::Range(1, 7));
+
+TEST(McmCongest, BipartiteNearOptimal) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::bipartite_gnp(25, 25, 0.15, rng);
+    McmCongestParams params;
+    params.epsilon = 0.25;
+    const auto res = run_mcm_1eps_congest(g, seed, params);
+    const std::size_t opt = hopcroft_karp(g).matching.size();
+    EXPECT_GE((res.matching.size() + res.deactivated.size()) * 1.25,
+              static_cast<double>(opt))
+        << "seed " << seed;
+  }
+}
+
+TEST(McmCongest, PathsAndCycles) {
+  McmCongestParams params;
+  params.epsilon = 0.25;
+  const auto p = run_mcm_1eps_congest(gen::path(20), 2, params);
+  EXPECT_GE(p.matching.size(), 8u);  // opt 10, (1+ε) with slack
+  const auto c = run_mcm_1eps_congest(gen::cycle(20), 2, params);
+  EXPECT_GE(c.matching.size(), 8u);
+}
+
+TEST(McmCongest, MatchingOnlyGrowsAcrossStages) {
+  // Internal consistency: result must be at least a maximal-matching-size
+  // fraction; specifically at least half of OPT (any maximal matching is).
+  Rng rng(9);
+  const Graph g = gen::gnp(70, 0.06, rng);
+  const auto res = run_mcm_1eps_congest(g, 9);
+  const std::size_t opt = blossom_mcm(g).matching.size();
+  EXPECT_GE(res.matching.size() * 2 + res.deactivated.size(), opt);
+}
+
+
+TEST(HypergraphNmm, ForcedDeactivationPathStillValid) {
+  // Threshold 0-ish deactivates aggressively; the matching must stay
+  // valid and maximality must hold among the surviving active nodes.
+  Rng rng(13);
+  const Hypergraph h = random_hypergraph(40, 90, 4, rng);
+  HypergraphNmmParams params;
+  params.good_round_threshold = 1;
+  const auto res = run_hypergraph_nmm(h, 13, params);
+  EXPECT_TRUE(h.is_matching(res.matching));
+  EXPECT_TRUE(res.drained);
+  std::vector<bool> active(h.num_vertices(), true);
+  for (NodeId v : res.deactivated) active[v] = false;
+  std::vector<bool> covered(h.num_vertices(), false);
+  for (HyperedgeId e : res.matching) {
+    for (NodeId v : h.vertices(e)) covered[v] = true;
+  }
+  for (HyperedgeId e = 0; e < h.num_hyperedges(); ++e) {
+    bool all_active = true, touches = false;
+    for (NodeId v : h.vertices(e)) {
+      all_active = all_active && active[v];
+      touches = touches || covered[v];
+    }
+    EXPECT_TRUE(!all_active || touches);
+  }
+}
+
+TEST(FindFlip, ForcedDeactivationKeepsInvariant) {
+  Rng rng(14);
+  const Graph g = gen::bipartite_gnp(12, 12, 0.3, rng);
+  const auto parts = try_bipartition(g);
+  ASSERT_TRUE(parts.has_value());
+  std::vector<NodeId> mate(g.num_nodes(), kInvalidNode);
+  std::vector<bool> active(g.num_nodes(), true);
+  Rng search_rng(15);
+  AugPathSearchParams params;
+  params.d = 1;
+  params.good_threshold = 1;  // deactivate after a single good iteration
+  const auto res = find_and_flip_aug_paths_bipartite(g, *parts, mate,
+                                                     active, params,
+                                                     search_rng);
+  // Either drained naturally or everything left on a path was pulled out;
+  // in both cases no active length-1 augmenting path may remain.
+  EXPECT_EQ(shortest_augmenting_path_length(g, mate, 1, active), 0u);
+  for (const auto& path : res.flipped) EXPECT_EQ(path.size(), 2u);
+}
+
+TEST(FindFlip, IterationCapDeactivatesCarriers) {
+  Rng rng(16);
+  const Graph g = gen::bipartite_gnp(10, 10, 0.4, rng);
+  const auto parts = try_bipartition(g);
+  std::vector<NodeId> mate(g.num_nodes(), kInvalidNode);
+  std::vector<bool> active(g.num_nodes(), true);
+  Rng search_rng(17);
+  AugPathSearchParams params;
+  params.d = 1;
+  params.max_iterations = 1;  // force the cap path
+  find_and_flip_aug_paths_bipartite(g, *parts, mate, active, params,
+                                    search_rng);
+  EXPECT_EQ(shortest_augmenting_path_length(g, mate, 1, active), 0u);
+}
+
+}  // namespace
+}  // namespace distapx

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "graph/algos.hpp"
+#include "graph/generators.hpp"
+#include "matching/augmenting.hpp"
+#include "matching/baselines.hpp"
+#include "matching/blossom.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "test_helpers.hpp"
+
+namespace distapx {
+namespace {
+
+EdgeWeights edge_weights_for(const Graph& g, std::uint64_t seed,
+                             Weight max_w) {
+  Rng rng(hash_combine(seed, 0xe));
+  return gen::uniform_edge_weights(g.num_edges(), max_w, rng);
+}
+
+TEST(MatesOf, RoundTrips) {
+  const Graph p = gen::path(5);
+  const auto mate = mates_of(p, {0, 2});
+  EXPECT_EQ(mate[0], 1u);
+  EXPECT_EQ(mate[1], 0u);
+  EXPECT_EQ(mate[2], 3u);
+  EXPECT_EQ(mate[4], kInvalidNode);
+  EXPECT_THROW(mates_of(p, {0, 1}), EnsureError);
+}
+
+TEST(HopcroftKarp, KnownSizes) {
+  EXPECT_EQ(hopcroft_karp(gen::path(6)).matching.size(), 3u);
+  EXPECT_EQ(hopcroft_karp(gen::path(7)).matching.size(), 3u);
+  EXPECT_EQ(hopcroft_karp(gen::cycle(8)).matching.size(), 4u);
+  EXPECT_EQ(hopcroft_karp(gen::star(10)).matching.size(), 1u);
+  EXPECT_EQ(hopcroft_karp(gen::complete_bipartite(4, 7)).matching.size(),
+            4u);
+  EXPECT_EQ(hopcroft_karp(gen::grid(4, 4)).matching.size(), 8u);
+}
+
+TEST(HopcroftKarp, MatchesBruteForceOnRandomBipartite) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::bipartite_gnp(7, 7, 0.3, rng);
+    if (g.num_edges() > 40) continue;
+    const auto hk = hopcroft_karp(g);
+    EXPECT_TRUE(is_matching(g, hk.matching));
+    EXPECT_EQ(hk.matching.size(), test::brute_force_mcm_size(g))
+        << "seed " << seed;
+  }
+}
+
+TEST(HopcroftKarp, RejectsOddCycle) {
+  EXPECT_THROW(hopcroft_karp(gen::cycle(5)), EnsureError);
+}
+
+TEST(Konig, BipartiteMisSize) {
+  // |MaxIS| = n - |MCM| in bipartite graphs.
+  EXPECT_EQ(exact_mis_size_bipartite(gen::path(6)), 3u);
+  EXPECT_EQ(exact_mis_size_bipartite(gen::complete_bipartite(3, 5)), 5u);
+  EXPECT_EQ(exact_mis_size_bipartite(gen::cycle(10)), 5u);
+}
+
+TEST(Blossom, KnownSizes) {
+  EXPECT_EQ(blossom_mcm(gen::cycle(5)).matching.size(), 2u);
+  EXPECT_EQ(blossom_mcm(gen::cycle(9)).matching.size(), 4u);
+  EXPECT_EQ(blossom_mcm(gen::complete(7)).matching.size(), 3u);
+  EXPECT_EQ(blossom_mcm(gen::complete(8)).matching.size(), 4u);
+  EXPECT_EQ(blossom_mcm(gen::path(9)).matching.size(), 4u);
+}
+
+TEST(Blossom, TriangleChain) {
+  // Two triangles joined by a bridge: needs blossom handling.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  const Graph g = b.build();
+  EXPECT_EQ(blossom_mcm(g).matching.size(), 3u);
+}
+
+TEST(Blossom, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::gnp(10, 0.3, rng);
+    if (g.num_edges() > 40) continue;
+    const auto res = blossom_mcm(g);
+    EXPECT_TRUE(is_matching(g, res.matching));
+    EXPECT_EQ(res.matching.size(), test::brute_force_mcm_size(g))
+        << "seed " << seed;
+  }
+}
+
+TEST(Blossom, AgreesWithHopcroftKarpOnBipartite) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::bipartite_gnp(20, 20, 0.15, rng);
+    EXPECT_EQ(blossom_mcm(g).matching.size(),
+              hopcroft_karp(g).matching.size());
+  }
+}
+
+TEST(ExactMwmSmall, MatchesManualCases) {
+  // Path with weights: best is the two outer edges.
+  const Graph p = gen::path(4);  // edges (0,1),(1,2),(2,3)
+  const auto res = exact_mwm_small(p, {5, 9, 5});
+  EXPECT_EQ(matching_weight({5, 9, 5}, res.matching), 10);
+  // Unless the middle dominates.
+  const auto res2 = exact_mwm_small(p, {3, 9, 3});
+  EXPECT_EQ(matching_weight({3, 9, 3}, res2.matching), 9);
+}
+
+TEST(ExactMwmSmall, HandlesTriangle) {
+  const Graph t = gen::cycle(3);
+  EdgeWeights w{4, 7, 6};
+  const auto res = exact_mwm_small(t, w);
+  EXPECT_EQ(matching_weight(w, res.matching), 7);
+}
+
+TEST(ExactMwmBipartite, MatchesSmallDpOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::bipartite_gnp(6, 6, 0.4, rng);
+    const auto w = edge_weights_for(g, seed, 30);
+    const auto dp = exact_mwm_small(g, w);
+    const auto bf = exact_mwm_bipartite(g, w);
+    EXPECT_TRUE(is_matching(g, bf.matching));
+    EXPECT_EQ(matching_weight(w, bf.matching),
+              matching_weight(w, dp.matching))
+        << "seed " << seed;
+  }
+}
+
+TEST(ExactMwmBipartite, PrefersWeightOverCardinality) {
+  // A path of 3 edges where the middle edge outweighs both outer ones.
+  const Graph p = gen::path(4);
+  const auto res = exact_mwm_bipartite(p, {3, 100, 3});
+  EXPECT_EQ(matching_weight({3, 100, 3}, res.matching), 100);
+}
+
+TEST(GreedyMatching, TwoApproximation) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const Graph g = gen::gnp(14, 0.3, rng);
+    if (g.num_nodes() > 22) continue;
+    const auto w = edge_weights_for(g, seed, 20);
+    const auto greedy = greedy_matching(g, w);
+    const auto exact = exact_mwm_small(g, w);
+    EXPECT_TRUE(is_matching(g, greedy.matching));
+    EXPECT_GE(2 * matching_weight(w, greedy.matching),
+              matching_weight(w, exact.matching))
+        << "seed " << seed;
+  }
+}
+
+TEST(GreedyMaximalMatching, MaximalOnFamilies) {
+  for (const auto& fc : test::small_families(4)) {
+    const auto res = greedy_maximal_matching(fc.graph);
+    EXPECT_TRUE(is_maximal_matching(fc.graph, res.matching)) << fc.name;
+  }
+}
+
+// ---- augmenting paths -------------------------------------------------------
+
+TEST(Augmenting, EnumerationOnPath) {
+  const Graph p = gen::path(6);
+  std::vector<NodeId> mate(6, kInvalidNode);
+  // Empty matching: length-1 augmenting paths are exactly the edges.
+  auto paths = enumerate_augmenting_paths(p, mate, 1);
+  EXPECT_EQ(paths.size(), 5u);
+  // Match edge (2,3): the remaining length-1 paths avoid nodes 2 and 3.
+  mate[2] = 3;
+  mate[3] = 2;
+  paths = enumerate_augmenting_paths(p, mate, 1);
+  EXPECT_EQ(paths.size(), 2u);  // (0,1) and (4,5)
+  // One length-3 path would need to pass through the matched pair:
+  // 1-2-3-4 alternates unmatched/matched/unmatched. Valid.
+  paths = enumerate_augmenting_paths(p, mate, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (NodePath{1, 2, 3, 4}));
+}
+
+TEST(Augmenting, FlipAndValidate) {
+  const Graph p = gen::path(4);
+  std::vector<NodeId> mate(4, kInvalidNode);
+  std::vector<EdgeId> matched_edge(4, kInvalidEdge);
+  mate[1] = 2;
+  mate[2] = 1;
+  matched_edge[1] = matched_edge[2] = 1;
+  const NodePath path{0, 1, 2, 3};
+  EXPECT_TRUE(is_augmenting_path(p, mate, path));
+  flip_augmenting_path(p, mate, matched_edge, path);
+  EXPECT_EQ(mate[0], 1u);
+  EXPECT_EQ(mate[2], 3u);
+  EXPECT_FALSE(is_augmenting_path(p, mate, path));
+  EXPECT_THROW(flip_augmenting_path(p, mate, matched_edge, path),
+               EnsureError);
+  const auto matching = matching_from_matched_edge(p, matched_edge);
+  EXPECT_TRUE(is_matching(p, matching));
+  EXPECT_EQ(matching.size(), 2u);
+}
+
+TEST(Augmenting, ShortestLength) {
+  const Graph p = gen::path(6);
+  std::vector<NodeId> mate(6, kInvalidNode);
+  EXPECT_EQ(shortest_augmenting_path_length(p, mate, 9), 1u);
+  mate[2] = 3;
+  mate[3] = 2;
+  EXPECT_EQ(shortest_augmenting_path_length(p, mate, 9), 1u);
+  mate[0] = 1;
+  mate[1] = 0;
+  mate[4] = 5;
+  mate[5] = 4;
+  // Perfect matching: no augmenting path at all.
+  EXPECT_EQ(shortest_augmenting_path_length(p, mate, 9), 0u);
+}
+
+TEST(Augmenting, ActiveMaskRestricts) {
+  const Graph p = gen::path(4);
+  std::vector<NodeId> mate(4, kInvalidNode);
+  std::vector<bool> active(4, true);
+  active[0] = false;
+  const auto paths = enumerate_augmenting_paths(p, mate, 1, active);
+  EXPECT_EQ(paths.size(), 2u);  // (1,2),(2,3) — (0,1) blocked
+}
+
+TEST(Augmenting, EvenLengthRejected) {
+  const Graph p = gen::path(4);
+  std::vector<NodeId> mate(4, kInvalidNode);
+  EXPECT_THROW(enumerate_augmenting_paths(p, mate, 2), EnsureError);
+}
+
+TEST(Augmenting, CountMatchesHopcroftKarpStructure) {
+  // Flipping a maximal set of shortest paths raises the shortest length
+  // (Hopcroft–Karp fact (2)).
+  Rng rng(12);
+  const Graph g = gen::bipartite_gnp(12, 12, 0.25, rng);
+  std::vector<NodeId> mate(g.num_nodes(), kInvalidNode);
+  std::vector<EdgeId> matched_edge(g.num_nodes(), kInvalidEdge);
+  std::uint32_t prev = 0;
+  for (std::uint32_t ell = 1; ell <= 5; ell += 2) {
+    const std::uint32_t shortest =
+        shortest_augmenting_path_length(g, mate, ell);
+    if (shortest == 0) break;
+    EXPECT_GT(shortest, prev);
+    // Flip a maximal set of length-`shortest` disjoint paths.
+    for (;;) {
+      const auto paths =
+          enumerate_augmenting_paths(g, mate, shortest);
+      if (paths.empty()) break;
+      std::vector<bool> used(g.num_nodes(), false);
+      bool flipped = false;
+      for (const auto& path : paths) {
+        if (std::any_of(path.begin(), path.end(),
+                        [&](NodeId v) { return used[v]; })) {
+          continue;
+        }
+        for (NodeId v : path) used[v] = true;
+        flip_augmenting_path(g, mate, matched_edge, path);
+        flipped = true;
+      }
+      if (!flipped) break;
+    }
+    EXPECT_EQ(shortest_augmenting_path_length(g, mate, shortest), 0u);
+    prev = shortest;
+  }
+}
+
+}  // namespace
+}  // namespace distapx

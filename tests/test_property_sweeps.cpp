@@ -1,0 +1,170 @@
+// Wide parameterized property sweeps: the paper's guarantees asserted over
+// the cross product of topology family × weight regime × algorithm
+// configuration. Complements the targeted suites with combinatorial
+// breadth at moderate sizes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "coloring/coloring.hpp"
+#include "graph/algos.hpp"
+#include "graph/generators.hpp"
+#include "matching/blossom.hpp"
+#include "matching/lr_matching.hpp"
+#include "matching/nmm_2eps.hpp"
+#include "maxis/coloring_maxis.hpp"
+#include "maxis/layered_maxis.hpp"
+#include "maxis/local_ratio_seq.hpp"
+#include "test_helpers.hpp"
+
+namespace distapx {
+namespace {
+
+enum class Family { kGnp, kRegular, kTree, kGrid, kStar, kMultipartite };
+enum class WeightRegime { kUnit, kUniform, kLogUniform, kExponential };
+
+Graph make_family(Family f, Rng& rng) {
+  switch (f) {
+    case Family::kGnp:
+      return gen::gnp(90, 0.05, rng);
+    case Family::kRegular:
+      return gen::random_regular(96, 6, rng);
+    case Family::kTree:
+      return gen::random_tree(120, rng);
+    case Family::kGrid:
+      return gen::grid(9, 10);
+    case Family::kStar:
+      return gen::star(70);
+    case Family::kMultipartite:
+      return gen::complete_multipartite({12, 9, 6});
+  }
+  return gen::path(8);
+}
+
+NodeWeights make_weights(WeightRegime r, NodeId n, Rng& rng) {
+  switch (r) {
+    case WeightRegime::kUnit:
+      return gen::unit_node_weights(n);
+    case WeightRegime::kUniform:
+      return gen::uniform_node_weights(n, 1 << 10, rng);
+    case WeightRegime::kLogUniform:
+      return gen::log_uniform_node_weights(n, 1 << 14, rng);
+    case WeightRegime::kExponential:
+      return gen::exponential_node_weights(n, 1 << 12, rng);
+  }
+  return gen::unit_node_weights(n);
+}
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kGnp:
+      return "gnp";
+    case Family::kRegular:
+      return "regular";
+    case Family::kTree:
+      return "tree";
+    case Family::kGrid:
+      return "grid";
+    case Family::kStar:
+      return "star";
+    case Family::kMultipartite:
+      return "multipartite";
+  }
+  return "?";
+}
+
+using SweepParam = std::tuple<Family, WeightRegime>;
+
+class MaxIsSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MaxIsSweep, BothDistributedAlgorithmsValidAndBoundedVsSeq) {
+  const auto [family, regime] = GetParam();
+  Rng rng(hash_combine(static_cast<int>(family) * 7,
+                       static_cast<int>(regime)));
+  const Graph g = make_family(family, rng);
+  const auto w = make_weights(regime, g.num_nodes(), rng);
+
+  const auto alg2 = run_layered_maxis(g, w, 5);
+  ASSERT_TRUE(is_independent_set(g, alg2.independent_set))
+      << family_name(family);
+  ASSERT_LE(alg2.metrics.max_edge_bits, alg2.metrics.bandwidth_cap);
+
+  const auto alg3 = run_coloring_maxis_with(g, w, greedy_coloring(g));
+  ASSERT_TRUE(is_independent_set(g, alg3.independent_set));
+
+  // The sequential meta-algorithm (Algorithm 1) with the top-layer policy
+  // is the centralized version of Algorithm 2: both carry the same Δ
+  // bound, so they should be within Δ of each other on any instance.
+  const auto seq =
+      seq_local_ratio_maxis(g, w, LocalRatioPolicy::kTopLayerMis);
+  const Weight wa = set_weight(w, alg2.independent_set);
+  const Weight wb = set_weight(w, alg3.independent_set);
+  const Weight ws = set_weight(w, seq.independent_set);
+  const Weight delta = std::max<std::uint32_t>(g.max_degree(), 1);
+  ASSERT_GT(wa, 0);
+  ASSERT_GT(wb, 0);
+  EXPECT_GE(wa * delta, ws);
+  EXPECT_GE(wb * delta, ws);
+  EXPECT_GE(ws * delta, wa);
+
+  // With unit weights both must be maximal independent sets.
+  if (regime == WeightRegime::kUnit) {
+    EXPECT_TRUE(is_maximal_independent_set(g, alg2.independent_set));
+    EXPECT_TRUE(is_maximal_independent_set(g, alg3.independent_set));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cross, MaxIsSweep,
+    ::testing::Combine(
+        ::testing::Values(Family::kGnp, Family::kRegular, Family::kTree,
+                          Family::kGrid, Family::kStar,
+                          Family::kMultipartite),
+        ::testing::Values(WeightRegime::kUnit, WeightRegime::kUniform,
+                          WeightRegime::kLogUniform,
+                          WeightRegime::kExponential)));
+
+class MatchingSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MatchingSweep, LrAndNmmValidWithCardinalityFloor) {
+  const auto [family, regime] = GetParam();
+  Rng rng(hash_combine(static_cast<int>(family) * 13,
+                       static_cast<int>(regime)));
+  const Graph g = make_family(family, rng);
+  if (g.num_edges() == 0) return;
+  Rng wrng(9);
+  const EdgeWeights ew =
+      regime == WeightRegime::kUnit
+          ? gen::unit_edge_weights(g.num_edges())
+          : gen::uniform_edge_weights(g.num_edges(), 1 << 10, wrng);
+
+  const auto lr = run_lr_matching(g, ew, 5);
+  ASSERT_TRUE(is_matching(g, lr.matching)) << family_name(family);
+  ASSERT_LE(lr.metrics.max_edge_bits, lr.metrics.bandwidth_cap);
+
+  const auto nmm = run_nmm_2eps_matching(g, 5);
+  ASSERT_TRUE(is_matching(g, nmm.matching));
+
+  // Cardinality floor: a maximal matching is at least half of MCM, and
+  // both results become maximal after greedy completion.
+  const std::size_t opt = blossom_mcm(g).matching.size();
+  const auto lr_full = complete_matching_greedily(g, lr.matching);
+  const auto nmm_full = complete_matching_greedily(g, nmm.matching);
+  EXPECT_GE(lr_full.size() * 2, opt);
+  EXPECT_GE(nmm_full.size() * 2, opt);
+  if (regime == WeightRegime::kUnit) {
+    // Unit-weight local ratio on L(G) is already maximal.
+    EXPECT_EQ(lr_full.size(), lr.matching.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cross, MatchingSweep,
+    ::testing::Combine(
+        ::testing::Values(Family::kGnp, Family::kRegular, Family::kTree,
+                          Family::kGrid, Family::kStar,
+                          Family::kMultipartite),
+        ::testing::Values(WeightRegime::kUnit, WeightRegime::kUniform)));
+
+}  // namespace
+}  // namespace distapx

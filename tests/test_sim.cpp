@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "graph/line_graph.hpp"
+#include "sim/aggregation.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "support/assert.hpp"
+
+namespace distapx {
+namespace {
+
+TEST(Message, BitAccounting) {
+  sim::Message m(3);
+  m.push(5, 4).push(1, 1);
+  EXPECT_EQ(m.type(), 3u);
+  EXPECT_EQ(m.num_fields(), 2u);
+  EXPECT_EQ(m.field(0), 5u);
+  EXPECT_EQ(m.field(1), 1u);
+  EXPECT_EQ(m.total_bits(), sim::Message::kTypeBits + 5);
+}
+
+TEST(Message, RejectsOverflowingField) {
+  sim::Message m(0);
+  EXPECT_THROW(m.push(16, 4), EnsureError);
+  EXPECT_THROW(m.push(1, 0), EnsureError);
+  m.push(~std::uint64_t{0}, 64);  // full width is fine
+}
+
+TEST(Message, RealFields) {
+  sim::Message m(1);
+  m.push_real(0.375, 32);
+  EXPECT_DOUBLE_EQ(m.field_real(0), 0.375);
+  EXPECT_EQ(m.total_bits(), sim::Message::kTypeBits + 32);
+}
+
+TEST(BandwidthPolicy, Caps) {
+  EXPECT_EQ(sim::BandwidthPolicy::local().cap_bits(1000), 0u);
+  EXPECT_EQ(sim::BandwidthPolicy::congest(8).cap_bits(1024), 80u);
+  EXPECT_EQ(sim::BandwidthPolicy::congest(8).cap_bits(1025), 88u);
+}
+
+/// Flood: node 0 starts a wave; every node halts with the round it first
+/// heard the wave, i.e. its BFS distance.
+class FloodProgram final : public sim::NodeProgram {
+ public:
+  void init(sim::Ctx& ctx) override {
+    if (ctx.id() == 0) {
+      ctx.broadcast(sim::Message(1));
+      ctx.halt(0);
+    }
+  }
+  void round(sim::Ctx& ctx) override {
+    if (!ctx.inbox().empty()) {
+      ctx.broadcast(sim::Message(1));
+      ctx.halt(ctx.round());
+    }
+  }
+};
+
+TEST(Network, FloodComputesBfsDepth) {
+  const Graph g = gen::path(6);
+  sim::Network net(g);
+  sim::RunOptions opts;
+  const auto res = net.run(
+      [](NodeId) { return std::make_unique<FloodProgram>(); }, opts);
+  EXPECT_TRUE(res.metrics.completed);
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(res.outputs[v], static_cast<std::int64_t>(v));
+  }
+  EXPECT_EQ(res.metrics.rounds, 5u);
+}
+
+TEST(Network, RoundCapStopsRun) {
+  // A program that never halts.
+  class Stubborn final : public sim::NodeProgram {
+    void round(sim::Ctx&) override {}
+  };
+  const Graph g = gen::path(3);
+  sim::Network net(g);
+  sim::RunOptions opts;
+  opts.max_rounds = 10;
+  const auto res = net.run(
+      [](NodeId) { return std::make_unique<Stubborn>(); }, opts);
+  EXPECT_FALSE(res.metrics.completed);
+  EXPECT_EQ(res.metrics.rounds, 10u);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  // Nodes output a few random bits; same seed must reproduce exactly.
+  class RandOut final : public sim::NodeProgram {
+    void round(sim::Ctx& ctx) override {
+      ctx.halt(static_cast<std::int64_t>(ctx.rng().next() & 0xffff));
+    }
+  };
+  const Graph g = gen::cycle(8);
+  sim::RunOptions opts;
+  opts.seed = 77;
+  sim::Network net(g);
+  const auto r1 = net.run(
+      [](NodeId) { return std::make_unique<RandOut>(); }, opts);
+  const auto r2 = net.run(
+      [](NodeId) { return std::make_unique<RandOut>(); }, opts);
+  EXPECT_EQ(r1.outputs, r2.outputs);
+  opts.seed = 78;
+  const auto r3 = net.run(
+      [](NodeId) { return std::make_unique<RandOut>(); }, opts);
+  EXPECT_NE(r1.outputs, r3.outputs);
+}
+
+TEST(Network, BandwidthEnforcement) {
+  // A program that sends way more than O(log n) bits on one edge.
+  class Chatty final : public sim::NodeProgram {
+    void round(sim::Ctx& ctx) override {
+      sim::Message m(1);
+      for (int i = 0; i < 64; ++i) m.push(0, 64);
+      if (ctx.degree() > 0) ctx.send(0, m);
+      ctx.halt(0);
+    }
+  };
+  const Graph g = gen::path(4);
+  sim::Network net(g);
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::congest(8, true);
+  EXPECT_THROW(net.run([](NodeId) { return std::make_unique<Chatty>(); },
+                       opts),
+               EnsureError);
+  // Unenforced: records the violation instead.
+  opts.policy = sim::BandwidthPolicy::congest(8, false);
+  const auto res = net.run(
+      [](NodeId) { return std::make_unique<Chatty>(); }, opts);
+  EXPECT_GT(res.metrics.max_edge_bits, res.metrics.bandwidth_cap);
+}
+
+TEST(Network, MessagesToHaltedNodesAreDropped) {
+  // Node 0 halts immediately; node 1 keeps sending to it; run ends when
+  // node 1 halts too. No crash, no delivery to a halted node.
+  class Quick final : public sim::NodeProgram {
+   public:
+    void init(sim::Ctx& ctx) override {
+      if (ctx.id() == 0) ctx.halt(0);
+    }
+    void round(sim::Ctx& ctx) override {
+      EXPECT_NE(ctx.id(), 0u);
+      ctx.broadcast(sim::Message(1));
+      if (ctx.round() == 3) ctx.halt(1);
+    }
+  };
+  const Graph g = gen::path(2);
+  sim::Network net(g);
+  sim::RunOptions opts;
+  const auto res = net.run(
+      [](NodeId) { return std::make_unique<Quick>(); }, opts);
+  EXPECT_TRUE(res.metrics.completed);
+}
+
+TEST(Network, PortsAndNeighborsConsistent) {
+  class PortCheck final : public sim::NodeProgram {
+    void round(sim::Ctx& ctx) override {
+      for (std::uint32_t p = 0; p < ctx.degree(); ++p) {
+        const NodeId nbr = ctx.neighbor(p);
+        EXPECT_EQ(ctx.port_of(nbr), p);
+        EXPECT_NE(ctx.edge_of(p), kInvalidEdge);
+      }
+      EXPECT_EQ(ctx.port_of(ctx.id()), UINT32_MAX);
+      ctx.halt(0);
+    }
+  };
+  Rng rng(5);
+  const Graph g = gen::gnp(20, 0.3, rng);
+  sim::Network net(g);
+  sim::RunOptions opts;
+  const auto res = net.run(
+      [](NodeId) { return std::make_unique<PortCheck>(); }, opts);
+  EXPECT_TRUE(res.metrics.completed);
+}
+
+// ---- aggregation engine ---------------------------------------------------
+
+/// One-round program whose output is its first aggregate (sum of neighbor
+/// ids) — used to validate the fold machinery in both agent topologies.
+class SumIdsProgram final : public sim::AggProgram {
+ public:
+  std::vector<int> state_bits() const override { return {32}; }
+  std::vector<sim::Aggregator> aggregators() const override {
+    return {sim::agg_sum(
+        [](std::span<const std::uint64_t> s) { return s[0]; }, 40)};
+  }
+  void init(sim::AggCtx& ctx) override { ctx.state()[0] = ctx.agent(); }
+  void round(sim::AggCtx& ctx) override {
+    ctx.halt(static_cast<std::int64_t>(ctx.aggregates()[0]));
+  }
+};
+
+TEST(Aggregation, NodeModeSumsNeighborIds) {
+  const Graph g = gen::cycle(5);
+  SumIdsProgram prog;
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::local();
+  const auto res = sim::run_on_nodes(g, prog, opts);
+  EXPECT_TRUE(res.metrics.completed);
+  for (NodeId v = 0; v < 5; ++v) {
+    std::uint64_t expect = 0;
+    for (const HalfEdge& he : g.neighbors(v)) expect += he.to;
+    EXPECT_EQ(res.outputs[v], static_cast<std::int64_t>(expect));
+  }
+}
+
+TEST(Aggregation, LineModeMatchesExplicitLineGraph) {
+  Rng rng(6);
+  const Graph g = gen::gnp(18, 0.25, rng);
+  const LineGraph lg(g);
+
+  SumIdsProgram prog;
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::local();
+  const auto on_line = sim::run_on_line_graph(g, prog, opts);
+  // Reference: fold neighbor ids on the explicit line graph.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    std::uint64_t expect = 0;
+    for (const HalfEdge& he : lg.graph().neighbors(lg.line_node(e))) {
+      expect += he.to;
+    }
+    EXPECT_EQ(on_line.outputs[e], static_cast<std::int64_t>(expect))
+        << "line node " << e;
+  }
+}
+
+TEST(Aggregation, LineModeDegrees) {
+  Rng rng(7);
+  const Graph g = gen::gnp(15, 0.3, rng);
+  class DegreeOut final : public sim::AggProgram {
+   public:
+    std::vector<int> state_bits() const override { return {8}; }
+    std::vector<sim::Aggregator> aggregators() const override {
+      return {sim::agg_or(
+          [](std::span<const std::uint64_t>) { return std::uint64_t{0}; })};
+    }
+    void init(sim::AggCtx& ctx) override { ctx.state()[0] = 0; }
+    void round(sim::AggCtx& ctx) override { ctx.halt(ctx.degree()); }
+  };
+  DegreeOut prog;
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::local();
+  const auto res = sim::run_on_line_graph(g, prog, opts);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    EXPECT_EQ(res.outputs[e], g.degree(u) + g.degree(v) - 2);
+  }
+}
+
+TEST(Aggregation, MinMaxAndBooleanAggregators) {
+  const Graph g = gen::star(5);  // center 0
+  class MultiAgg final : public sim::AggProgram {
+   public:
+    std::vector<int> state_bits() const override { return {16}; }
+    std::vector<sim::Aggregator> aggregators() const override {
+      auto id = [](std::span<const std::uint64_t> s) { return s[0]; };
+      return {sim::agg_min(id, 16), sim::agg_max(id, 16),
+              sim::agg_and([](std::span<const std::uint64_t> s) {
+                return static_cast<std::uint64_t>(s[0] > 0);
+              }),
+              sim::agg_or([](std::span<const std::uint64_t> s) {
+                return static_cast<std::uint64_t>(s[0] == 3);
+              })};
+    }
+    void init(sim::AggCtx& ctx) override {
+      ctx.state()[0] = ctx.agent() + 1;  // 1..5
+    }
+    void round(sim::AggCtx& ctx) override {
+      if (ctx.agent() != 0) {
+        ctx.halt(0);
+        return;
+      }
+      const auto a = ctx.aggregates();
+      EXPECT_EQ(a[0], 2u);  // min neighbor value
+      EXPECT_EQ(a[1], 5u);  // max
+      EXPECT_EQ(a[2], 1u);  // all > 0
+      EXPECT_EQ(a[3], 1u);  // some == 3
+      ctx.halt(1);
+    }
+  };
+  MultiAgg prog;
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::local();
+  const auto res = sim::run_on_nodes(g, prog, opts);
+  EXPECT_EQ(res.outputs[0], 1);
+}
+
+TEST(Aggregation, StateWidthValidation) {
+  const Graph g = gen::path(3);
+  class TooWide final : public sim::AggProgram {
+   public:
+    std::vector<int> state_bits() const override { return {4}; }
+    std::vector<sim::Aggregator> aggregators() const override {
+      return {sim::agg_or(
+          [](std::span<const std::uint64_t>) { return std::uint64_t{0}; })};
+    }
+    void init(sim::AggCtx& ctx) override { ctx.state()[0] = 999; }
+    void round(sim::AggCtx& ctx) override { ctx.halt(0); }
+  };
+  TooWide prog;
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::local();
+  EXPECT_THROW(sim::run_on_nodes(g, prog, opts), EnsureError);
+}
+
+TEST(Aggregation, NaiveCongestionFormula) {
+  const Graph s = gen::star(9);  // center degree 8
+  EXPECT_EQ(sim::naive_line_congestion_bits(s, 10), 70u);  // (8-1)*10
+  const Graph p = gen::path(3);
+  EXPECT_EQ(sim::naive_line_congestion_bits(p, 10), 10u);  // (2-1)*10
+}
+
+TEST(Aggregation, CongestionStaysBoundedOnLineGraph) {
+  // The Theorem 2.8 claim: line-graph execution under aggregation keeps
+  // per-edge bits independent of Δ.
+  Rng rng(8);
+  const Graph g = gen::star(60);  // Δ = 59, line graph is K_59
+  SumIdsProgram prog;
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::congest(32);
+  const auto res = sim::run_on_line_graph(g, prog, opts);
+  EXPECT_LE(res.metrics.max_edge_bits, res.metrics.bandwidth_cap);
+  EXPECT_GT(sim::naive_line_congestion_bits(g, 32),
+            res.metrics.bandwidth_cap);
+}
+
+
+TEST(Aggregation, NaiveLineModeSameOutputsHigherCost) {
+  // The naive transport runs the identical algorithm (same per-agent RNG
+  // streams), so outputs match the Thm 2.8 execution exactly; only the
+  // congestion accounting differs.
+  Rng rng(9);
+  const Graph g = gen::gnp(30, 0.2, rng);
+  SumIdsProgram prog_a, prog_b;
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::local();
+  const auto agg = sim::run_on_line_graph(g, prog_a, opts);
+  const auto naive = sim::run_on_line_graph_naive(g, prog_b, opts);
+  EXPECT_EQ(agg.outputs, naive.outputs);
+  EXPECT_EQ(agg.super_rounds, naive.super_rounds);
+  EXPECT_GT(naive.metrics.max_edge_bits, agg.metrics.max_edge_bits);
+}
+
+TEST(Aggregation, NaiveCostGrowsWithDegree) {
+  SumIdsProgram prog_small, prog_big;
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::local();
+  const auto small = sim::run_on_line_graph_naive(gen::star(9), prog_small,
+                                                  opts);
+  const auto big = sim::run_on_line_graph_naive(gen::star(65), prog_big,
+                                                opts);
+  EXPECT_GE(big.metrics.max_edge_bits, 7 * small.metrics.max_edge_bits);
+}
+
+}  // namespace
+}  // namespace distapx

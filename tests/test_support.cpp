@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace distapx {
+namespace {
+
+TEST(Ensure, ThrowsWithMessage) {
+  EXPECT_THROW(DISTAPX_ENSURE(1 == 2), EnsureError);
+  try {
+    DISTAPX_ENSURE_MSG(false, "context " << 42);
+    FAIL();
+  } catch (const EnsureError& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndStable) {
+  const Rng root(99);
+  Rng s1 = root.split(7);
+  Rng s1_again = root.split(7);
+  Rng s2 = root.split(8);
+  EXPECT_EQ(s1.next(), s1_again.next());
+  EXPECT_NE(s1.next(), s2.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(8, 0);
+  constexpr int kTrials = 16000;
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.next_below(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, kTrials / 8 * 0.85);
+    EXPECT_LT(c, kTrials / 8 * 1.15);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const auto x = rng.next_in(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+  EXPECT_EQ(rng.next_in(3, 3), 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(11);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::uint32_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (auto x : sample) EXPECT_LT(x, 50u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), EnsureError);
+}
+
+TEST(Bits, BitsForValue) {
+  EXPECT_EQ(bits_for_value(0), 1);
+  EXPECT_EQ(bits_for_value(1), 1);
+  EXPECT_EQ(bits_for_value(2), 2);
+  EXPECT_EQ(bits_for_value(255), 8);
+  EXPECT_EQ(bits_for_value(256), 9);
+}
+
+TEST(Bits, BitsForCount) {
+  EXPECT_EQ(bits_for_count(1), 1);
+  EXPECT_EQ(bits_for_count(2), 1);
+  EXPECT_EQ(bits_for_count(3), 2);
+  EXPECT_EQ(bits_for_count(1024), 10);
+  EXPECT_EQ(bits_for_count(1025), 11);
+}
+
+TEST(Bits, Logs) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(log_star(1.0), 0);
+  EXPECT_EQ(log_star(2.0), 1);
+  EXPECT_EQ(log_star(4.0), 2);
+  EXPECT_EQ(log_star(16.0), 3);
+  EXPECT_EQ(log_star(65536.0), 4);
+}
+
+TEST(Stats, SummaryBasics) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Stats, SummaryEmpty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Table, PrintAndCsv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "hello"});
+  t.add_row({Table::fmt(2.5, 1), "x,y"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("hello"), std::string::npos);
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("\"x,y\""), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), EnsureError);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::fmt(std::int64_t{-7}), "-7");
+}
+
+}  // namespace
+}  // namespace distapx

@@ -1,0 +1,271 @@
+// distapx_cli — run any of the paper's algorithms on a generated or
+// file-loaded graph, printing the solution and the CONGEST accounting.
+//
+// Usage:
+//   distapx_cli <algorithm> [options]
+//
+// Algorithms:
+//   luby           Luby's MIS
+//   nmis           nearly-maximal IS (Sec 3.1)
+//   maxis-alg2     Δ-approx weighted MaxIS, randomized (Thm 2.3)
+//   maxis-alg3     Δ-approx weighted MaxIS, deterministic (Sec 2.3)
+//   mwm-lr         2-approx MWM, randomized (Thm 2.10)
+//   mwm-lr-det     2-approx MWM, deterministic (Thm 2.10)
+//   mcm-2eps       (2+ε)-approx MCM (Thm 3.2)
+//   mwm-2eps       (2+ε)-approx MWM (App B.1)
+//   mcm-1eps       (1+ε)-approx MCM (Thm B.12)
+//   proposal       (2+ε)-approx MCM via proposals (App B.4)
+//
+// Options:
+//   --graph FILE       load edge list (see graph/io.hpp)
+//   --gen SPEC         generate: gnp:N:P | regular:N:D | grid:R:C |
+//                      tree:N | bipartite:A:B:P | star:N | path:N
+//   --seed S           run seed (default 1)
+//   --eps E            epsilon for the (2+ε)/(1+ε) algorithms
+//   --maxw W           random integer weights in [1, W] (default 100)
+//   --out FILE         write the solution (ids, one per line)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/algos.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "matching/lr_matching.hpp"
+#include "matching/lr_matching_det.hpp"
+#include "matching/mcm_congest.hpp"
+#include "matching/nmm_2eps.hpp"
+#include "matching/proposal.hpp"
+#include "matching/weighted_2eps.hpp"
+#include "maxis/coloring_maxis.hpp"
+#include "maxis/layered_maxis.hpp"
+#include "mis/ghaffari_nmis.hpp"
+#include "mis/luby.hpp"
+
+using namespace distapx;
+
+namespace {
+
+struct Options {
+  std::string algorithm;
+  std::string graph_file;
+  std::string gen_spec = "gnp:200:0.04";
+  std::string out_file;
+  std::uint64_t seed = 1;
+  double eps = 0.25;
+  Weight max_w = 100;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "error: " << msg << "\nrun with no arguments for usage\n";
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream is(s);
+  std::string part;
+  while (std::getline(is, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+Graph generate(const std::string& spec, Rng& rng) {
+  const auto parts = split(spec, ':');
+  const auto arg = [&](std::size_t i) {
+    if (i >= parts.size()) usage_error("missing parameter in --gen " + spec);
+    return parts[i];
+  };
+  const std::string& family = arg(0);
+  if (family == "gnp") {
+    return gen::gnp(static_cast<NodeId>(std::stoul(arg(1))),
+                    std::stod(arg(2)), rng);
+  }
+  if (family == "regular") {
+    return gen::random_regular(static_cast<NodeId>(std::stoul(arg(1))),
+                               static_cast<std::uint32_t>(std::stoul(arg(2))),
+                               rng);
+  }
+  if (family == "grid") {
+    return gen::grid(static_cast<NodeId>(std::stoul(arg(1))),
+                     static_cast<NodeId>(std::stoul(arg(2))));
+  }
+  if (family == "tree") {
+    return gen::random_tree(static_cast<NodeId>(std::stoul(arg(1))), rng);
+  }
+  if (family == "bipartite") {
+    return gen::bipartite_gnp(static_cast<NodeId>(std::stoul(arg(1))),
+                              static_cast<NodeId>(std::stoul(arg(2))),
+                              std::stod(arg(3)), rng);
+  }
+  if (family == "star") {
+    return gen::star(static_cast<NodeId>(std::stoul(arg(1))));
+  }
+  if (family == "path") {
+    return gen::path(static_cast<NodeId>(std::stoul(arg(1))));
+  }
+  usage_error("unknown family in --gen " + spec);
+}
+
+void print_metrics(const sim::RunMetrics& m) {
+  std::cout << "  rounds=" << m.rounds << " messages=" << m.messages
+            << " total_bits=" << m.total_bits
+            << " max_bits/edge/round=" << m.max_edge_bits;
+  if (m.bandwidth_cap > 0) std::cout << " (cap " << m.bandwidth_cap << ")";
+  std::cout << "\n";
+}
+
+void write_ids(const std::string& path, const std::vector<NodeId>& ids) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  for (NodeId v : ids) os << v << '\n';
+  std::cout << "  solution written to " << path << "\n";
+}
+
+void write_edges(const std::string& path, const std::vector<EdgeId>& ids) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  for (EdgeId e : ids) os << e << '\n';
+  std::cout << "  solution written to " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cout
+        << "usage: distapx_cli <algorithm> [--graph FILE | --gen SPEC] "
+           "[--seed S] [--eps E] [--maxw W] [--out FILE]\n"
+           "algorithms: luby nmis maxis-alg2 maxis-alg3 mwm-lr mwm-lr-det "
+           "mcm-2eps mwm-2eps mcm-1eps proposal\n"
+           "gen specs: gnp:N:P regular:N:D grid:R:C tree:N "
+           "bipartite:A:B:P star:N path:N\n";
+    return 0;
+  }
+  Options opt;
+  opt.algorithm = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--graph") {
+      opt.graph_file = value();
+    } else if (flag == "--gen") {
+      opt.gen_spec = value();
+    } else if (flag == "--seed") {
+      opt.seed = std::stoull(value());
+    } else if (flag == "--eps") {
+      opt.eps = std::stod(value());
+    } else if (flag == "--maxw") {
+      opt.max_w = std::stoll(value());
+    } else if (flag == "--out") {
+      opt.out_file = value();
+    } else {
+      usage_error("unknown flag " + flag);
+    }
+  }
+
+  Rng rng(hash_combine(opt.seed, 0xc11));
+  Graph g;
+  std::optional<EdgeWeights> loaded_ew;
+  if (!opt.graph_file.empty()) {
+    auto loaded = io::load_edge_list(opt.graph_file);
+    g = std::move(loaded.graph);
+    loaded_ew = std::move(loaded.edge_weights);
+  } else {
+    g = generate(opt.gen_spec, rng);
+  }
+  std::cout << "graph: n=" << g.num_nodes() << " m=" << g.num_edges()
+            << " Δ=" << g.max_degree() << "\n";
+
+  const NodeWeights nw =
+      gen::uniform_node_weights(g.num_nodes(), opt.max_w, rng);
+  const EdgeWeights ew =
+      loaded_ew ? *loaded_ew
+                : gen::uniform_edge_weights(g.num_edges(), opt.max_w, rng);
+
+  const std::string& a = opt.algorithm;
+  if (a == "luby") {
+    const auto r = run_luby_mis(g, opt.seed);
+    std::cout << "MIS size " << r.independent_set.size() << "\n";
+    print_metrics(r.metrics);
+    write_ids(opt.out_file, r.independent_set);
+  } else if (a == "nmis") {
+    const auto r = run_nmis(g, opt.seed);
+    std::cout << "nearly-maximal IS size " << r.independent_set.size()
+              << ", undecided " << r.undecided.size() << "\n";
+    print_metrics(r.metrics);
+    write_ids(opt.out_file, r.independent_set);
+  } else if (a == "maxis-alg2") {
+    const auto r = run_layered_maxis(g, nw, opt.seed);
+    std::cout << "IS size " << r.independent_set.size() << " weight "
+              << set_weight(nw, r.independent_set) << "\n";
+    print_metrics(r.metrics);
+    write_ids(opt.out_file, r.independent_set);
+  } else if (a == "maxis-alg3") {
+    const auto r =
+        run_coloring_maxis(g, nw, ColoringSource::kLinial, opt.seed);
+    std::cout << "IS size " << r.independent_set.size() << " weight "
+              << set_weight(nw, r.independent_set) << " ("
+              << r.num_colors << " colors)\n";
+    std::cout << "  coloring:";
+    print_metrics(r.coloring_metrics);
+    std::cout << "  selection:";
+    print_metrics(r.maxis_metrics);
+    write_ids(opt.out_file, r.independent_set);
+  } else if (a == "mwm-lr") {
+    const auto r = run_lr_matching(g, ew, opt.seed);
+    std::cout << "matching size " << r.matching.size() << " weight "
+              << matching_weight(ew, r.matching) << "\n";
+    print_metrics(r.metrics);
+    write_edges(opt.out_file, r.matching);
+  } else if (a == "mwm-lr-det") {
+    const auto r = run_lr_matching_deterministic(g, ew);
+    std::cout << "matching size " << r.matching.size() << " weight "
+              << matching_weight(ew, r.matching) << " (" << r.num_colors
+              << " line colors)\n";
+    std::cout << "  coloring:";
+    print_metrics(r.coloring_metrics);
+    std::cout << "  matching:";
+    print_metrics(r.matching_metrics);
+    write_edges(opt.out_file, r.matching);
+  } else if (a == "mcm-2eps") {
+    Nmm2EpsParams p;
+    p.epsilon = opt.eps;
+    const auto r = run_nmm_2eps_matching(g, opt.seed, p);
+    std::cout << "matching size " << r.matching.size() << " ("
+              << r.super_rounds << " super-rounds, "
+              << r.undecided_edges.size() << " undecided edges)\n";
+    print_metrics(r.metrics);
+    write_edges(opt.out_file, r.matching);
+  } else if (a == "mwm-2eps") {
+    Weighted2EpsParams p;
+    p.epsilon = opt.eps;
+    const auto r = run_weighted_2eps_matching(g, ew, opt.seed, p);
+    std::cout << "matching size " << r.matching.size() << " weight "
+              << matching_weight(ew, r.matching) << " ("
+              << r.rounds_parallel << " parallel rounds)\n";
+    write_edges(opt.out_file, r.matching);
+  } else if (a == "mcm-1eps") {
+    McmCongestParams p;
+    p.epsilon = opt.eps;
+    const auto r = run_mcm_1eps_congest(g, opt.seed, p);
+    std::cout << "matching size " << r.matching.size() << " over "
+              << r.stages << " stages (" << r.deactivated.size()
+              << " deactivated, ~" << r.rounds << " rounds)\n";
+    write_edges(opt.out_file, r.matching);
+  } else if (a == "proposal") {
+    ProposalParams p;
+    p.epsilon = opt.eps;
+    const auto r = run_proposal_matching(g, opt.seed, p);
+    std::cout << "matching size " << r.matching.size() << "\n";
+    print_metrics(r.metrics);
+    write_edges(opt.out_file, r.matching);
+  } else {
+    usage_error("unknown algorithm " + a);
+  }
+  return 0;
+}
