@@ -1,10 +1,29 @@
 #include "bench_common.hpp"
 
+#include <cstdlib>
+
 namespace distapx::bench {
 
 void banner(const std::string& experiment, const std::string& claim) {
   std::cout << "\n=== " << experiment << " ===\n"
             << "paper claim: " << claim << "\n\n";
+}
+
+unsigned default_threads() {
+  if (const char* env = std::getenv("DISTAPX_BENCH_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return sim::resolve_threads(0, ~std::size_t{0});
+}
+
+std::vector<std::uint64_t> seed_sequence(int reps, std::uint64_t base_seed) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    seeds.push_back(hash_combine(base_seed, static_cast<std::uint64_t>(r)));
+  }
+  return seeds;
 }
 
 double ratio(double opt, double got) {

@@ -7,6 +7,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "sim/run_many.hpp"
 #include "support/random.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -16,14 +17,50 @@ namespace distapx::bench {
 /// Prints a section banner for one experiment.
 void banner(const std::string& experiment, const std::string& claim);
 
+/// Worker threads the benches use: DISTAPX_BENCH_THREADS when set,
+/// otherwise the hardware concurrency.
+unsigned default_threads();
+
+/// The derived seed sequence sample()/sample_par() feed to `fn`.
+std::vector<std::uint64_t> seed_sequence(int reps, std::uint64_t base_seed);
+
 /// mean of `reps` samples produced by `fn(seed)`.
 template <typename Fn>
 Summary sample(int reps, std::uint64_t base_seed, Fn&& fn) {
   Summary s;
-  for (int r = 0; r < reps; ++r) {
-    s.add(fn(hash_combine(base_seed, static_cast<std::uint64_t>(r))));
+  for (const std::uint64_t seed : seed_sequence(reps, base_seed)) {
+    s.add(fn(seed));
   }
   return s;
+}
+
+/// sample(), but the per-seed work runs through the sim::run_many_tasks
+/// scheduler. The reduction folds in seed order, so the Summary is
+/// bit-identical to the serial sample() at any thread count.
+template <typename Fn>
+Summary sample_par(int reps, std::uint64_t base_seed, Fn&& fn) {
+  const auto seeds = seed_sequence(reps, base_seed);
+  const auto values = sim::run_many_tasks(
+      seeds, default_threads(),
+      [&](std::uint64_t seed, std::size_t) -> double { return fn(seed); });
+  Summary s;
+  for (const double v : values) s.add(v);
+  return s;
+}
+
+/// Per-seed results for seeds first_seed..first_seed+reps-1 computed
+/// through the sim::run_many_tasks scheduler; results are in seed order
+/// regardless of thread count.
+template <typename Fn>
+auto per_seed(std::uint64_t first_seed, int reps, Fn&& fn) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    seeds.push_back(first_seed + static_cast<std::uint64_t>(r));
+  }
+  return sim::run_many_tasks(
+      seeds, default_threads(),
+      [&](std::uint64_t seed, std::size_t) { return fn(seed); });
 }
 
 /// OPT/ALG ratio guard against divide-by-zero.

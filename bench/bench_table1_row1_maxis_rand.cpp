@@ -66,7 +66,7 @@ void rounds_vs_w() {
     for (int logw : {1, 4, 8, 12, 16, 20}) {
       const Weight W = Weight{1} << logw;
       const auto stats =
-          bench::sample(5, 100 + logw, [&](std::uint64_t seed) {
+          bench::sample_par(5, 100 + logw, [&](std::uint64_t seed) {
             Rng rng(seed);
             if (chain) {
               const auto inst = layer_chain(logw, 16, rng);
@@ -101,7 +101,7 @@ void rounds_vs_n() {
                 "MIS(G)=O(log n) via Luby; rounds grow ~ log n");
   Table t({"n", "log2n", "rounds(mean)", "rounds(sd)", "rounds/log2n"});
   for (NodeId n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
-    const auto stats = bench::sample(3, 200 + n, [&](std::uint64_t seed) {
+    const auto stats = bench::sample_par(3, 200 + n, [&](std::uint64_t seed) {
       Rng rng(seed);
       const Graph g = gen::gnp(n, 8.0 / n, rng);
       const auto w = gen::uniform_node_weights(n, 1 << 10, rng);
@@ -129,30 +129,41 @@ void quality() {
   };
   // Small random graphs vs branch & bound; forests vs the exact DP.
   for (int variant = 0; variant < 2; ++variant) {
+    struct SeedStats {
+      double r_alg = 0;
+      double r_greedy = 0;
+      std::uint32_t delta = 0;
+    };
+    const auto per_seed = bench::per_seed(1, 8, [&](std::uint64_t seed) {
+          Rng rng(seed + (variant ? 500 : 0));
+          const Graph g = variant == 0 ? gen::gnp(20, 0.2, rng)
+                                       : gen::random_tree(300, rng);
+          const auto w =
+              gen::exponential_node_weights(g.num_nodes(), 1 << 12, rng);
+          const Weight opt =
+              variant == 0
+                  ? set_weight(w, exact_maxis(g, w).independent_set)
+                  : set_weight(w, exact_maxis_forest(g, w).independent_set);
+          const auto alg = run_layered_maxis(g, w, seed);
+          const auto greedy = greedy_maxis(g, w);
+          SeedStats s;
+          s.r_alg = bench::ratio(
+              static_cast<double>(opt),
+              static_cast<double>(set_weight(w, alg.independent_set)));
+          s.r_greedy = bench::ratio(
+              static_cast<double>(opt),
+              static_cast<double>(set_weight(w, greedy.independent_set)));
+          s.delta = g.max_degree();
+          return s;
+        });
     Summary ratio_alg, ratio_greedy;
     double worst = 0;
     std::uint32_t delta = 0;
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-      Rng rng(seed + (variant ? 500 : 0));
-      const Graph g = variant == 0 ? gen::gnp(20, 0.2, rng)
-                                   : gen::random_tree(300, rng);
-      const auto w =
-          gen::exponential_node_weights(g.num_nodes(), 1 << 12, rng);
-      const Weight opt =
-          variant == 0
-              ? set_weight(w, exact_maxis(g, w).independent_set)
-              : set_weight(w, exact_maxis_forest(g, w).independent_set);
-      const auto alg = run_layered_maxis(g, w, seed);
-      const auto greedy = greedy_maxis(g, w);
-      const double r = bench::ratio(
-          static_cast<double>(opt),
-          static_cast<double>(set_weight(w, alg.independent_set)));
-      ratio_alg.add(r);
-      worst = std::max(worst, r);
-      ratio_greedy.add(bench::ratio(
-          static_cast<double>(opt),
-          static_cast<double>(set_weight(w, greedy.independent_set))));
-      delta = std::max(delta, g.max_degree());
+    for (const auto& s : per_seed) {
+      ratio_alg.add(s.r_alg);
+      ratio_greedy.add(s.r_greedy);
+      worst = std::max(worst, s.r_alg);
+      delta = std::max(delta, s.delta);
     }
     t.add_row({variant == 0 ? "gnp(20,0.2)" : "random_tree(300)",
                Table::fmt(std::uint64_t{delta}),

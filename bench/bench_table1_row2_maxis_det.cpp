@@ -25,12 +25,13 @@ void rounds_vs_delta() {
            "alg3 rounds/Δ"});
   for (std::uint32_t d : {2u, 4u, 8u, 16u, 32u}) {
     Summary coloring_rounds, maxis_rounds, colors;
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto runs = bench::per_seed(1, 3, [&](std::uint64_t seed) {
       Rng rng(hash_combine(seed, d));
       const Graph g = gen::random_regular(2048, d, rng);
       const auto w = gen::uniform_node_weights(2048, 1000, rng);
-      const auto res =
-          run_coloring_maxis(g, w, ColoringSource::kLinial, seed);
+      return run_coloring_maxis(g, w, ColoringSource::kLinial, seed);
+    });
+    for (const auto& res : runs) {
       coloring_rounds.add(res.coloring_metrics.rounds);
       maxis_rounds.add(res.maxis_metrics.rounds);
       colors.add(res.num_colors);
@@ -50,12 +51,13 @@ void rounds_vs_n() {
   Table t({"n", "coloring rounds", "alg3 rounds"});
   for (NodeId n : {128u, 512u, 2048u, 8192u}) {
     Summary coloring_rounds, maxis_rounds;
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto runs = bench::per_seed(1, 3, [&](std::uint64_t seed) {
       Rng rng(hash_combine(seed, n));
       const Graph g = gen::random_regular(n, 4, rng);
       const auto w = gen::uniform_node_weights(n, 1000, rng);
-      const auto res =
-          run_coloring_maxis(g, w, ColoringSource::kLinial, seed);
+      return run_coloring_maxis(g, w, ColoringSource::kLinial, seed);
+    });
+    for (const auto& res : runs) {
       coloring_rounds.add(res.coloring_metrics.rounds);
       maxis_rounds.add(res.maxis_metrics.rounds);
     }
@@ -74,7 +76,7 @@ void quality() {
     Summary r;
     double worst = 0;
     std::uint32_t delta = 0;
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto runs = bench::per_seed(1, 8, [&](std::uint64_t seed) {
       Rng rng(seed + (variant ? 900 : 0));
       const Graph g = variant == 0 ? gen::gnp(20, 0.2, rng)
                                    : gen::caterpillar(60, 3);
@@ -89,9 +91,12 @@ void quality() {
       const double x = bench::ratio(
           static_cast<double>(opt),
           static_cast<double>(set_weight(w, res.independent_set)));
+      return std::pair<double, std::uint32_t>{x, g.max_degree()};
+    });
+    for (const auto& [x, d] : runs) {
       r.add(x);
       worst = std::max(worst, x);
-      delta = std::max(delta, g.max_degree());
+      delta = std::max(delta, d);
     }
     t.add_row({variant == 0 ? "gnp(20,0.2)" : "caterpillar(60,3)",
                Table::fmt(std::uint64_t{delta}), Table::fmt(r.mean(), 3),
@@ -108,24 +113,34 @@ void det_mwm() {
   Table t({"workload", "L(G) colors", "coloring rounds", "matching rounds",
            "OPT/ALG", "bound"});
   for (int variant = 0; variant < 2; ++variant) {
-    Summary colors, c_rounds, m_rounds, q;
-    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    struct SeedStats {
+      double colors = 0, c_rounds = 0, m_rounds = 0, q = 0;
+    };
+    const auto runs = bench::per_seed(1, 4, [&](std::uint64_t seed) {
       Rng rng(hash_combine(seed, variant));
       const Graph g = variant == 0
                           ? gen::bipartite_gnp(30, 30, 0.1, rng)
                           : gen::gnp(18, 0.25, rng);
       const auto w = gen::uniform_edge_weights(g.num_edges(), 1000, rng);
       const auto res = run_lr_matching_deterministic(g, w);
-      colors.add(res.num_colors);
-      c_rounds.add(res.coloring_metrics.rounds);
-      m_rounds.add(res.matching_metrics.rounds);
       const Weight opt =
           variant == 0
               ? matching_weight(w, exact_mwm_bipartite(g, w).matching)
               : matching_weight(w, exact_mwm_small(g, w).matching);
-      q.add(bench::ratio(
-          static_cast<double>(opt),
-          static_cast<double>(matching_weight(w, res.matching))));
+      return SeedStats{
+          static_cast<double>(res.num_colors),
+          static_cast<double>(res.coloring_metrics.rounds),
+          static_cast<double>(res.matching_metrics.rounds),
+          bench::ratio(
+              static_cast<double>(opt),
+              static_cast<double>(matching_weight(w, res.matching)))};
+    });
+    Summary colors, c_rounds, m_rounds, q;
+    for (const auto& s : runs) {
+      colors.add(s.colors);
+      c_rounds.add(s.c_rounds);
+      m_rounds.add(s.m_rounds);
+      q.add(s.q);
     }
     t.add_row({variant == 0 ? "bipartite(30,30,0.1)" : "gnp(18,0.25)",
                Table::fmt(colors.mean(), 1), Table::fmt(c_rounds.mean(), 1),

@@ -6,6 +6,7 @@
 //      against the O(log n)-type local-ratio matching (row 1 machinery)
 //  (b) cardinality quality vs exact (blossom)
 //  (c) weighted pipeline (bucketing + refinement) quality vs exact MWM
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -29,15 +30,20 @@ void rounds_vs_delta() {
            "lr-matching rounds (baseline)"});
   for (std::uint32_t d : {4u, 8u, 16u, 32u, 64u}) {
     Summary nmm_rounds, lr_rounds;
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto runs = bench::per_seed(1, 3, [&](std::uint64_t seed) {
       Rng rng(hash_combine(seed, d));
       const Graph g = gen::random_regular(2048, d, rng);
       Nmm2EpsParams params;
       params.epsilon = 0.25;
-      nmm_rounds.add(run_nmm_2eps_matching(g, seed, params).super_rounds);
-      lr_rounds.add(
+      const double nmm = run_nmm_2eps_matching(g, seed, params).super_rounds;
+      const double lr =
           run_lr_matching(g, gen::unit_edge_weights(g.num_edges()), seed)
-              .metrics.rounds);
+              .metrics.rounds;
+      return std::pair<double, double>{nmm, lr};
+    });
+    for (const auto& [nmm, lr] : runs) {
+      nmm_rounds.add(nmm);
+      lr_rounds.add(lr);
     }
     t.add_row({Table::fmt(std::uint64_t{d}),
                Table::fmt(std::int64_t{ceil_log2(d)}),
@@ -56,7 +62,7 @@ void cardinality_quality() {
                            "powerlaw(300)"}) {
     Summary r;
     double worst = 0;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto ratios = bench::per_seed(1, 5, [&](std::uint64_t seed) {
       Rng rng(hash_combine(seed, std::string(name).size()));
       Graph g = std::string(name) == "gnp(300,0.02)"
                     ? gen::gnp(300, 0.02, rng)
@@ -67,8 +73,10 @@ void cardinality_quality() {
       params.epsilon = 0.25;
       const auto res = run_nmm_2eps_matching(g, seed, params);
       const auto opt = blossom_mcm(g).matching.size();
-      const double x = bench::ratio(static_cast<double>(opt),
-                                    static_cast<double>(res.matching.size()));
+      return bench::ratio(static_cast<double>(opt),
+                          static_cast<double>(res.matching.size()));
+    });
+    for (const double x : ratios) {
       r.add(x);
       worst = std::max(worst, x);
     }
@@ -85,7 +93,7 @@ void weighted_quality() {
   Table t({"workload", "eps", "OPT/stage1", "OPT/full", "bound 2+ε"});
   for (double eps : {0.5, 0.25}) {
     Summary s1, s2;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto runs = bench::per_seed(1, 5, [&](std::uint64_t seed) {
       Rng rng(seed);
       const Graph g = gen::bipartite_gnp(60, 60, 0.08, rng);
       const auto w =
@@ -96,18 +104,61 @@ void weighted_quality() {
       params.epsilon = eps;
       const auto stage1 = run_bucketed_o1_mwm(g, w, seed, params);
       const auto full = run_weighted_2eps_matching(g, w, seed, params);
-      s1.add(bench::ratio(
-          static_cast<double>(opt),
-          static_cast<double>(matching_weight(w, stage1.matching))));
-      s2.add(bench::ratio(
-          static_cast<double>(opt),
-          static_cast<double>(matching_weight(w, full.matching))));
+      return std::pair<double, double>{
+          bench::ratio(
+              static_cast<double>(opt),
+              static_cast<double>(matching_weight(w, stage1.matching))),
+          bench::ratio(
+              static_cast<double>(opt),
+              static_cast<double>(matching_weight(w, full.matching)))};
+    });
+    for (const auto& [a, b] : runs) {
+      s1.add(a);
+      s2.add(b);
     }
     t.add_row({"bipartite_gnp(60,60,0.08)", Table::fmt(eps, 2),
                Table::fmt(s1.mean(), 3), Table::fmt(s2.mean(), 3),
                Table::fmt(2.0 + eps, 2)});
   }
   t.print(std::cout);
+}
+
+void run_many_throughput() {
+  bench::banner(
+      "E3d: multi-seed throughput through sim run_many",
+      "seeded runs are independent, so batching them over the run_many "
+      "scheduler scales with cores (engine-level, not a paper claim)");
+  const int kSeeds = 16;
+  Rng rng(42);
+  const Graph g = gen::random_regular(1024, 16, rng);
+  auto one_seed = [&](std::uint64_t seed, std::size_t) {
+    Nmm2EpsParams params;
+    params.epsilon = 0.25;
+    return run_nmm_2eps_matching(g, seed, params).matching.size();
+  };
+  const auto seeds = bench::seed_sequence(kSeeds, 7);
+  auto timed = [&](unsigned threads) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sizes = sim::run_many_tasks(seeds, threads, one_seed);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::size_t total = 0;
+    for (const std::size_t s : sizes) total += s;
+    return std::pair<double, std::size_t>{
+        std::chrono::duration<double>(t1 - t0).count(), total};
+  };
+  const auto [t1_sec, check1] = timed(1);
+  const auto [t8_sec, check8] = timed(8);
+  Table t({"threads", "wall sec", "speedup", "sum|M| (determinism check)"});
+  t.add_row({"1", Table::fmt(t1_sec, 3), "1.00",
+             Table::fmt(static_cast<std::uint64_t>(check1))});
+  t.add_row({"8", Table::fmt(t8_sec, 3),
+             Table::fmt(t8_sec > 0 ? t1_sec / t8_sec : 0.0, 2),
+             Table::fmt(static_cast<std::uint64_t>(check8))});
+  t.print(std::cout);
+  std::cout << "hardware threads available: "
+            << std::thread::hardware_concurrency() << "\n"
+            << (check1 == check8 ? "outputs identical across thread counts\n"
+                                 : "DETERMINISM VIOLATION\n");
 }
 
 }  // namespace
@@ -119,5 +170,6 @@ int main() {
   distapx::rounds_vs_delta();
   distapx::cardinality_quality();
   distapx::weighted_quality();
+  distapx::run_many_throughput();
   return 0;
 }

@@ -28,7 +28,7 @@ void congest_quality() {
     for (int variant = 0; variant < 2; ++variant) {
       Summary r, deact;
       double worst = 0;
-      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const auto runs = bench::per_seed(1, 4, [&](std::uint64_t seed) {
         Rng rng(hash_combine(seed, variant * 10 + (eps < 0.4)));
         const Graph g = variant == 0
                             ? gen::bipartite_gnp(60, 60, 0.06, rng)
@@ -40,9 +40,13 @@ void congest_quality() {
         const double x =
             bench::ratio(static_cast<double>(opt),
                          static_cast<double>(res.matching.size()));
+        return std::pair<double, double>{
+            x, static_cast<double>(res.deactivated.size())};
+      });
+      for (const auto& [x, d] : runs) {
         r.add(x);
         worst = std::max(worst, x);
-        deact.add(static_cast<double>(res.deactivated.size()));
+        deact.add(d);
       }
       t.add_row({variant == 0 ? "bipartite(60,60)" : "gnp(120,0.04)",
                  Table::fmt(eps, 2), Table::fmt(r.mean(), 3),
@@ -62,17 +66,22 @@ void local_rounds_vs_delta() {
            "OPT/ALG"});
   for (std::uint32_t d : {4u, 8u, 16u, 32u}) {
     Summary rounds, quality;
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto runs = bench::per_seed(1, 3, [&](std::uint64_t seed) {
       Rng rng(hash_combine(seed, d));
       const Graph g = gen::random_regular(200, d, rng);
       HkApproxParams params;
       params.epsilon = 1.0 / 3.0;
       params.algo = PathSetAlgo::kHypergraphNmm;
       const auto res = run_hk_matching_local(g, seed, params);
-      rounds.add(res.conflict_rounds);
       const auto opt = blossom_mcm(g).matching.size();
-      quality.add(bench::ratio(static_cast<double>(opt),
-                               static_cast<double>(res.matching.size())));
+      return std::pair<double, double>{
+          static_cast<double>(res.conflict_rounds),
+          bench::ratio(static_cast<double>(opt),
+                       static_cast<double>(res.matching.size()))};
+    });
+    for (const auto& [rnds, q] : runs) {
+      rounds.add(rnds);
+      quality.add(q);
     }
     t.add_row({Table::fmt(std::uint64_t{d}), Table::fmt(rounds.mean(), 1),
                Table::fmt(rounds.mean() / ceil_log2(d), 2),
@@ -89,7 +98,10 @@ void proposal_context() {
   Table t({"Delta", "rounds", "unlucky frac", "OPT/ALG"});
   for (std::uint32_t d : {4u, 16u, 64u}) {
     Summary rounds, unlucky, quality;
-    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    struct SeedStats {
+      double rounds = 0, unlucky = 0, quality = 0;
+    };
+    const auto runs = bench::per_seed(1, 4, [&](std::uint64_t seed) {
       Rng rng(hash_combine(seed, d));
       const Graph g = gen::bipartite_gnp(400, 400, d / 400.0, rng);
       const auto parts = try_bipartition(g);
@@ -97,11 +109,17 @@ void proposal_context() {
       params.epsilon = 0.2;
       const auto res =
           run_proposal_matching_bipartite(g, *parts, seed, params);
-      rounds.add(res.metrics.rounds);
-      unlucky.add(static_cast<double>(res.unlucky.size()) / 400.0);
       const auto opt = hopcroft_karp(g, *parts).matching.size();
-      quality.add(bench::ratio(static_cast<double>(opt),
-                               static_cast<double>(res.matching.size())));
+      return SeedStats{
+          static_cast<double>(res.metrics.rounds),
+          static_cast<double>(res.unlucky.size()) / 400.0,
+          bench::ratio(static_cast<double>(opt),
+                       static_cast<double>(res.matching.size()))};
+    });
+    for (const auto& s : runs) {
+      rounds.add(s.rounds);
+      unlucky.add(s.unlucky);
+      quality.add(s.quality);
     }
     t.add_row({Table::fmt(std::uint64_t{d}), Table::fmt(rounds.mean(), 1),
                Table::fmt(unlucky.mean(), 4),

@@ -47,23 +47,25 @@ EdgeId Ctx::edge_of(std::uint32_t port) const {
 }
 
 std::span<const Delivery> Ctx::inbox() const noexcept {
-  return net_->slots_[id_].inbox;
+  const auto begin = net_->inbox_off_[id_];
+  const auto end = net_->inbox_off_[id_ + 1];
+  return {net_->inbox_store_.data() + begin, net_->inbox_store_.data() + end};
 }
 
 void Ctx::send(std::uint32_t port, Message m) {
-  auto& slot = net_->slots_[id_];
   DISTAPX_ENSURE_MSG(port < net_->g_->degree(id_),
                      "node " << id_ << " sending on invalid port " << port);
   const auto bits = static_cast<std::uint32_t>(m.total_bits());
-  slot.out_bits_this_round[port] += bits;
+  const std::uint32_t slot = net_->adj_base_[id_] + port;
+  if (net_->out_bits_[slot] == 0) net_->touched_.push_back(slot);
+  net_->out_bits_[slot] += bits;
   const NodeId to = neighbor(port);
-  auto& dest = net_->slots_[to];
   Ctx peer;  // compute arrival port cheaply via the destination's view
   peer.net_ = net_;
   peer.id_ = to;
   const std::uint32_t arrival = peer.port_of(id_);
   DISTAPX_ASSERT(arrival != UINT32_MAX);
-  dest.pending.push_back(Delivery{arrival, std::move(m)});
+  net_->staged_.push_back({to, arrival, std::move(m)});
 }
 
 void Ctx::broadcast(const Message& m) {
@@ -77,22 +79,38 @@ void Ctx::halt(std::int64_t output) {
   slot.output = output;
 }
 
-Network::Network(const Graph& g) : g_(&g) {}
+Network::Network(const Graph& g) : g_(&g) {
+  const NodeId n = g.num_nodes();
+  adj_base_.resize(n + 1);
+  adj_base_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) adj_base_[v + 1] = adj_base_[v] + g.degree(v);
+  out_bits_.assign(adj_base_[n], 0);
+  inbox_off_.assign(n + 1, 0);
+  inbox_fill_.assign(n, 0);
+  slots_.resize(n);
+}
 
 RunResult Network::run(const ProgramFactory& factory, const RunOptions& opts) {
   const NodeId n = g_->num_nodes();
   cap_bits_ = opts.policy.cap_bits(n);
   enforce_ = opts.policy.bounded && opts.policy.enforce;
 
-  slots_.clear();
-  slots_.resize(n);
+  // Reset run state in place; buffer capacity survives from earlier runs
+  // (a previous run may have thrown mid-round, so clear transport state
+  // unconditionally).
+  staged_.clear();
+  touched_.clear();
+  std::fill(out_bits_.begin(), out_bits_.end(), 0);
+  std::fill(inbox_off_.begin(), inbox_off_.end(), 0);
+
   const Rng root(opts.seed);
   for (NodeId v = 0; v < n; ++v) {
     auto& slot = slots_[v];
     slot.program = factory(v);
     DISTAPX_ENSURE(slot.program != nullptr);
     slot.rng = root.split(v);
-    slot.out_bits_this_round.assign(g_->degree(v), 0);
+    slot.halted = false;
+    slot.output = 0;
   }
 
   RunResult result;
@@ -115,7 +133,7 @@ RunResult Network::run(const ProgramFactory& factory, const RunOptions& opts) {
     }
     const std::uint64_t msgs_before = result.metrics.messages;
     const std::uint64_t bits_before = result.metrics.total_bits;
-    deliver_and_account(opts, result.metrics);
+    deliver_and_account(result.metrics);
     if (opts.observer) {
       RoundSample sample;
       sample.round = round_idx;
@@ -152,38 +170,49 @@ RunResult Network::run(const ProgramFactory& factory, const RunOptions& opts) {
   return result;
 }
 
-void Network::deliver_and_account(const RunOptions& opts, RunMetrics& metrics) {
-  (void)opts;
-  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
-    auto& slot = slots_[v];
-    for (std::uint32_t port = 0; port < slot.out_bits_this_round.size();
-         ++port) {
-      const std::uint32_t bits = slot.out_bits_this_round[port];
-      if (bits == 0) continue;
-      metrics.total_bits += bits;
-      metrics.max_edge_bits = std::max(metrics.max_edge_bits, bits);
-      if (enforce_) {
-        DISTAPX_ENSURE_MSG(
-            bits <= cap_bits_,
-            "CONGEST violation: node " << v << " sent " << bits
-                                       << " bits on one edge in one round"
-                                       << " (cap " << cap_bits_ << ")");
-      }
-      slot.out_bits_this_round[port] = 0;
+void Network::deliver_and_account(RunMetrics& metrics) {
+  // Per-edge bit accounting: only the entries actually written this round.
+  for (const std::uint32_t slot : touched_) {
+    const std::uint32_t bits = out_bits_[slot];
+    metrics.total_bits += bits;
+    metrics.max_edge_bits = std::max(metrics.max_edge_bits, bits);
+    if (enforce_ && bits > cap_bits_) {
+      const NodeId sender = static_cast<NodeId>(
+          std::upper_bound(adj_base_.begin(), adj_base_.end(), slot) -
+          adj_base_.begin() - 1);
+      DISTAPX_ENSURE_MSG(
+          false, "CONGEST violation: node "
+                     << sender << " sent " << bits
+                     << " bits on one edge in one round"
+                     << " (cap " << cap_bits_ << ")");
     }
+    out_bits_[slot] = 0;
   }
-  // Move pending messages into inboxes for the next round; drop messages
-  // addressed to halted nodes.
-  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
-    auto& slot = slots_[v];
-    slot.inbox.clear();
-    if (slot.halted) {
-      slot.pending.clear();
-      continue;
-    }
-    metrics.messages += slot.pending.size();
-    slot.inbox.swap(slot.pending);
+  touched_.clear();
+
+  // Stable counting sort of the staged sends by destination: preserves the
+  // old per-node pending order (global send order) while keeping every
+  // inbox in one flat buffer. Messages addressed to halted nodes are
+  // dropped.
+  const NodeId n = g_->num_nodes();
+  std::fill(inbox_fill_.begin(), inbox_fill_.end(), 0);
+  for (const auto& s : staged_) {
+    if (!slots_[s.to].halted) ++inbox_fill_[s.to];
   }
+  inbox_off_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    inbox_off_[v + 1] = inbox_off_[v] + inbox_fill_[v];
+  }
+  const std::uint32_t total = inbox_off_[n];
+  metrics.messages += total;
+  if (inbox_store_.size() < total) inbox_store_.resize(total);
+  for (NodeId v = 0; v < n; ++v) inbox_fill_[v] = inbox_off_[v];
+  for (auto& s : staged_) {
+    if (slots_[s.to].halted) continue;
+    inbox_store_[inbox_fill_[s.to]++] = Delivery{s.arrival_port,
+                                                 std::move(s.msg)};
+  }
+  staged_.clear();
 }
 
 }  // namespace distapx::sim

@@ -146,6 +146,13 @@ using ProgramFactory =
     std::function<std::unique_ptr<NodeProgram>(NodeId node)>;
 
 /// The synchronous engine.
+///
+/// Message transport uses flat, preallocated buffers that persist across
+/// rounds AND across run() calls: sends append to one staged vector, and a
+/// stable counting sort by destination rebuilds the per-node inbox spans
+/// each round. A Network instance is therefore cheap to reuse for many
+/// seeded runs on the same graph (see run_many.hpp), with no per-round or
+/// per-run vector churn.
 class Network {
  public:
   explicit Network(const Graph& g);
@@ -154,6 +161,8 @@ class Network {
 
   /// Runs one algorithm to completion (all nodes halted) or to the round
   /// cap. Throws EnsureError on a bandwidth violation when enforcing.
+  /// Reentrant with respect to the instance: each call fully resets run
+  /// state while retaining buffer capacity.
   RunResult run(const ProgramFactory& factory, const RunOptions& opts);
 
  private:
@@ -162,19 +171,32 @@ class Network {
   struct NodeSlot {
     std::unique_ptr<NodeProgram> program;
     Rng rng{0};
-    std::vector<Delivery> inbox;
-    std::vector<Delivery> pending;  // delivered next round
-    std::vector<std::uint32_t> out_bits_this_round;  // per port
     bool halted = false;
     std::int64_t output = 0;
   };
 
-  void deliver_and_account(const RunOptions& opts, RunMetrics& metrics);
+  /// A sent message waiting for end-of-round delivery.
+  struct Staged {
+    NodeId to;
+    std::uint32_t arrival_port;
+    Message msg;
+  };
+
+  void deliver_and_account(RunMetrics& metrics);
 
   const Graph* g_;
   std::vector<NodeSlot> slots_;
   std::uint32_t cap_bits_ = 0;
   bool enforce_ = false;
+
+  // Flat transport buffers (see class comment).
+  std::vector<Staged> staged_;          // sends of the current round
+  std::vector<Delivery> inbox_store_;   // all inboxes, back to back
+  std::vector<std::uint32_t> inbox_off_;   // node v's inbox = [off[v], off[v+1])
+  std::vector<std::uint32_t> inbox_fill_;  // counting-sort scratch
+  std::vector<std::uint32_t> adj_base_;    // CSR base of node v's ports
+  std::vector<std::uint32_t> out_bits_;    // per directed edge, this round
+  std::vector<std::uint32_t> touched_;     // dirty out_bits_ entries
 };
 
 }  // namespace distapx::sim

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -77,6 +79,81 @@ TEST(GraphIo, FileHelpers) {
   const auto loaded = io::load_edge_list(path);
   EXPECT_EQ(loaded.graph.num_edges(), g.num_edges());
   EXPECT_THROW(io::load_edge_list("/nonexistent/dir/x.graph"), EnsureError);
+}
+
+/// Canonical edge multiset: sorted (u, v) pairs with u < v. Two graphs on
+/// the same labeled node set are equal iff these agree.
+std::vector<std::pair<NodeId, NodeId>> canonical_edges(const Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) edges.push_back(g.endpoints(e));
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+/// Golden round-trip over every small_families fixture: write → read →
+/// identical labeled edge list (and therefore an isomorphic graph).
+class GraphIoGolden : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GraphIoGolden, EdgeListRoundTripsExactly) {
+  const auto cases = test::small_families(99);
+  const auto& fc = cases.at(GetParam());
+  std::stringstream ss;
+  io::write_edge_list(ss, fc.graph);
+  const auto loaded = io::read_edge_list(ss);
+  ASSERT_EQ(loaded.graph.num_nodes(), fc.graph.num_nodes()) << fc.name;
+  ASSERT_EQ(loaded.graph.num_edges(), fc.graph.num_edges()) << fc.name;
+  EXPECT_EQ(canonical_edges(loaded.graph), canonical_edges(fc.graph))
+      << fc.name;
+  // Degrees (and thus Δ) are determined by the edge list; spot-check the
+  // derived structure too.
+  EXPECT_EQ(loaded.graph.max_degree(), fc.graph.max_degree()) << fc.name;
+  for (NodeId v = 0; v < fc.graph.num_nodes(); ++v) {
+    ASSERT_EQ(loaded.graph.degree(v), fc.graph.degree(v))
+        << fc.name << " node " << v;
+  }
+}
+
+TEST_P(GraphIoGolden, WeightedRoundTripPreservesWeights) {
+  const auto cases = test::small_families(99);
+  const auto& fc = cases.at(GetParam());
+  Rng rng(hash_combine(7, GetParam()));
+  const auto w = gen::uniform_edge_weights(fc.graph.num_edges(), 1000, rng);
+  std::stringstream ss;
+  io::write_edge_list(ss, fc.graph, &w);
+  const auto loaded = io::read_edge_list(ss);
+  if (fc.graph.num_edges() == 0) {
+    // An empty edge block carries no weight column to detect.
+    EXPECT_FALSE(loaded.edge_weights.has_value()) << fc.name;
+    return;
+  }
+  ASSERT_TRUE(loaded.edge_weights.has_value()) << fc.name;
+  // Weights are keyed by EdgeId; ids follow file order, so compare the
+  // (u, v, w) triples irrespective of edge numbering.
+  std::vector<std::tuple<NodeId, NodeId, Weight>> before, after;
+  for (EdgeId e = 0; e < fc.graph.num_edges(); ++e) {
+    const auto [u, v] = fc.graph.endpoints(e);
+    before.emplace_back(u, v, w[e]);
+  }
+  for (EdgeId e = 0; e < loaded.graph.num_edges(); ++e) {
+    const auto [u, v] = loaded.graph.endpoints(e);
+    after.emplace_back(u, v, (*loaded.edge_weights)[e]);
+  }
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after) << fc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallFamilies, GraphIoGolden,
+    ::testing::Range<std::size_t>(0, 13),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return test::small_families(99).at(info.param).name;
+    });
+
+TEST(GraphIoGolden, CoversEveryFamilyCase) {
+  // Keep the Range above in sync with the fixture list.
+  EXPECT_EQ(test::small_families(99).size(), 13u);
 }
 
 TEST(LogUniformWeights, CoversAllLayers) {

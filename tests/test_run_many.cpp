@@ -1,0 +1,164 @@
+// Determinism regression tests for the batched multi-seed scheduler: the
+// same seed set must produce bit-identical outputs on 1 thread and on N
+// threads, and across two invocations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/algos.hpp"
+#include "graph/generators.hpp"
+#include "maxis/layered_maxis.hpp"
+#include "mis/luby.hpp"
+#include "mis/mis.hpp"
+#include "sim/run_many.hpp"
+#include "support/assert.hpp"
+#include "test_helpers.hpp"
+
+namespace distapx {
+namespace {
+
+std::vector<std::uint64_t> seeds_for(int count) {
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < count; ++i) {
+    seeds.push_back(hash_combine(0xabcdef, static_cast<std::uint64_t>(i)));
+  }
+  return seeds;
+}
+
+void expect_same_results(const std::vector<sim::RunResult>& a,
+                         const std::vector<sim::RunResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].outputs, b[i].outputs) << "run " << i;
+    EXPECT_EQ(a[i].halted, b[i].halted) << "run " << i;
+    EXPECT_EQ(a[i].metrics.rounds, b[i].metrics.rounds) << "run " << i;
+    EXPECT_EQ(a[i].metrics.messages, b[i].metrics.messages) << "run " << i;
+    EXPECT_EQ(a[i].metrics.total_bits, b[i].metrics.total_bits)
+        << "run " << i;
+    EXPECT_EQ(a[i].metrics.max_edge_bits, b[i].metrics.max_edge_bits)
+        << "run " << i;
+  }
+}
+
+TEST(RunMany, ResolveThreads) {
+  EXPECT_EQ(sim::resolve_threads(4, 100), 4u);
+  EXPECT_EQ(sim::resolve_threads(4, 2), 2u);
+  EXPECT_EQ(sim::resolve_threads(1, 100), 1u);
+  EXPECT_GE(sim::resolve_threads(0, 100), 1u);
+  EXPECT_EQ(sim::resolve_threads(8, 0), 1u);
+}
+
+TEST(RunMany, BitIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  const Graph g = gen::gnp(120, 0.05, rng);
+  const auto factory = make_luby_program(g);
+  const auto seeds = seeds_for(12);
+
+  sim::RunManyOptions serial;
+  serial.threads = 1;
+  const auto base = sim::run_many(g, factory, seeds, serial);
+  ASSERT_EQ(base.size(), seeds.size());
+  for (const auto& r : base) ASSERT_TRUE(r.metrics.completed);
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    sim::RunManyOptions parallel;
+    parallel.threads = threads;
+    expect_same_results(base, sim::run_many(g, factory, seeds, parallel));
+  }
+}
+
+TEST(RunMany, BitIdenticalAcrossInvocations) {
+  Rng rng(12);
+  const Graph g = gen::random_regular(96, 6, rng);
+  const auto w = gen::uniform_node_weights(96, 1 << 10, rng);
+  const auto factory = make_layered_maxis_program(g, w, 1 << 10);
+  const auto seeds = seeds_for(8);
+
+  sim::RunManyOptions opts;
+  opts.threads = 4;
+  opts.policy = sim::BandwidthPolicy::congest(32);
+  const auto first = sim::run_many(g, factory, seeds, opts);
+  const auto second = sim::run_many(g, factory, seeds, opts);
+  expect_same_results(first, second);
+}
+
+TEST(RunMany, MatchesSingleNetworkRuns) {
+  // The batch must agree with one-off Network::run calls per seed.
+  Rng rng(13);
+  const Graph g = gen::gnp(64, 0.08, rng);
+  const auto factory = make_luby_program(g);
+  const auto seeds = seeds_for(6);
+
+  sim::RunManyOptions opts;
+  opts.threads = 3;
+  const auto batch = sim::run_many(g, factory, seeds, opts);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    sim::Network net(g);
+    sim::RunOptions single;
+    single.seed = seeds[i];
+    const auto solo = net.run(factory, single);
+    EXPECT_EQ(batch[i].outputs, solo.outputs) << "seed index " << i;
+    EXPECT_EQ(batch[i].metrics.rounds, solo.metrics.rounds);
+  }
+}
+
+TEST(RunMany, ResultsAreValidIndependentSets) {
+  Rng rng(14);
+  const Graph g = gen::power_law(150, 2.5, 4.0, rng);
+  const auto factory = make_luby_program(g);
+  const auto seeds = seeds_for(10);
+  sim::RunManyOptions opts;
+  opts.threads = 4;
+  for (const auto& run : sim::run_many(g, factory, seeds, opts)) {
+    ASSERT_TRUE(run.metrics.completed);
+    std::vector<NodeId> is;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (run.outputs[v] == kOutInIs) is.push_back(v);
+    }
+    EXPECT_TRUE(is_maximal_independent_set(g, is));
+  }
+}
+
+TEST(RunMany, PropagatesPerRunExceptions) {
+  // A program that violates the CONGEST cap in every run: the batch must
+  // rethrow instead of swallowing the failure.
+  class Chatty final : public sim::NodeProgram {
+    void round(sim::Ctx& ctx) override {
+      sim::Message m(1);
+      for (int i = 0; i < 64; ++i) m.push(0, 64);
+      if (ctx.degree() > 0) ctx.send(0, m);
+      ctx.halt(0);
+    }
+  };
+  const Graph g = gen::cycle(8);
+  const auto seeds = seeds_for(4);
+  sim::RunManyOptions opts;
+  opts.threads = 2;
+  opts.policy = sim::BandwidthPolicy::congest(8, /*enforce=*/true);
+  EXPECT_THROW(
+      sim::run_many(
+          g, [](NodeId) { return std::make_unique<Chatty>(); }, seeds, opts),
+      EnsureError);
+}
+
+TEST(RunMany, EmptySeedSet) {
+  const Graph g = gen::path(4);
+  const auto factory = make_luby_program(g);
+  EXPECT_TRUE(sim::run_many(g, factory, {}, {}).empty());
+}
+
+TEST(RunManyTasks, DeterministicOrderAndValues) {
+  const auto seeds = seeds_for(9);
+  auto task = [](std::uint64_t seed, std::size_t index) {
+    Rng rng(seed);
+    return static_cast<double>(rng.next() % 1000) +
+           static_cast<double>(index) * 1e6;
+  };
+  const auto serial = sim::run_many_tasks(seeds, 1, task);
+  for (const unsigned threads : {2u, 4u}) {
+    EXPECT_EQ(serial, sim::run_many_tasks(seeds, threads, task));
+  }
+}
+
+}  // namespace
+}  // namespace distapx

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "graph/generators.hpp"
@@ -132,6 +133,112 @@ TEST(Network, BandwidthEnforcement) {
   const auto res = net.run(
       [](NodeId) { return std::make_unique<Chatty>(); }, opts);
   EXPECT_GT(res.metrics.max_edge_bits, res.metrics.bandwidth_cap);
+}
+
+/// Sends exactly `bits` declared bits on port 0 in round 1, then halts.
+class FixedSender final : public sim::NodeProgram {
+ public:
+  explicit FixedSender(int bits) : bits_(bits) {}
+  void round(sim::Ctx& ctx) override {
+    if (ctx.degree() > 0) {
+      sim::Message m(1);
+      int remaining = bits_ - sim::Message::kTypeBits;
+      while (remaining > 0) {
+        const int field = std::min(remaining, 64);
+        m.push(0, field);
+        remaining -= field;
+      }
+      ctx.send(0, m);
+    }
+    ctx.halt(0);
+  }
+
+ private:
+  int bits_;
+};
+
+TEST(BandwidthEnforcement, OverSendThrowsWhenEnforcing) {
+  const Graph g = gen::path(3);
+  sim::Network net(g);
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::congest(8, /*enforce=*/true);
+  const std::uint32_t cap = opts.policy.cap_bits(g.num_nodes());
+  // One bit over the cap is already a violation.
+  EXPECT_THROW(net.run(
+                   [&](NodeId) {
+                     return std::make_unique<FixedSender>(
+                         static_cast<int>(cap) + 1);
+                   },
+                   opts),
+               EnsureError);
+}
+
+TEST(BandwidthEnforcement, ExactlyAtCapIsLegal) {
+  const Graph g = gen::path(3);
+  sim::Network net(g);
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::congest(8, /*enforce=*/true);
+  const std::uint32_t cap = opts.policy.cap_bits(g.num_nodes());
+  const auto res = net.run(
+      [&](NodeId) {
+        return std::make_unique<FixedSender>(static_cast<int>(cap));
+      },
+      opts);
+  EXPECT_TRUE(res.metrics.completed);
+  EXPECT_EQ(res.metrics.max_edge_bits, cap);
+  EXPECT_EQ(res.metrics.bandwidth_cap, cap);
+}
+
+TEST(BandwidthEnforcement, UnenforcedOnlyRecordsTheViolation) {
+  const Graph g = gen::path(3);
+  sim::Network net(g);
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::congest(8, /*enforce=*/false);
+  const std::uint32_t cap = opts.policy.cap_bits(g.num_nodes());
+  const int sent = static_cast<int>(cap) * 3;
+  const auto res = net.run(
+      [&](NodeId) { return std::make_unique<FixedSender>(sent); }, opts);
+  EXPECT_TRUE(res.metrics.completed);
+  // The violation is visible in the metrics, precisely.
+  EXPECT_EQ(res.metrics.max_edge_bits, static_cast<std::uint32_t>(sent));
+  EXPECT_EQ(res.metrics.bandwidth_cap, cap);
+  EXPECT_GT(res.metrics.max_edge_bits, res.metrics.bandwidth_cap);
+}
+
+TEST(BandwidthEnforcement, LocalPolicyNeverTrips) {
+  const Graph g = gen::path(3);
+  sim::Network net(g);
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::local();
+  const auto res = net.run(
+      [&](NodeId) { return std::make_unique<FixedSender>(100000); }, opts);
+  EXPECT_TRUE(res.metrics.completed);
+  EXPECT_EQ(res.metrics.bandwidth_cap, 0u);
+  EXPECT_EQ(res.metrics.max_edge_bits, 100000u);
+}
+
+TEST(BandwidthEnforcement, NetworkIsReusableAfterViolation) {
+  // An enforcing run that throws must not poison the instance: the next
+  // run on the same Network starts from clean transport state.
+  const Graph g = gen::path(3);
+  sim::Network net(g);
+  sim::RunOptions opts;
+  opts.policy = sim::BandwidthPolicy::congest(8, /*enforce=*/true);
+  const std::uint32_t cap = opts.policy.cap_bits(g.num_nodes());
+  EXPECT_THROW(net.run(
+                   [&](NodeId) {
+                     return std::make_unique<FixedSender>(
+                         static_cast<int>(cap) * 2);
+                   },
+                   opts),
+               EnsureError);
+  const auto res = net.run(
+      [&](NodeId) {
+        return std::make_unique<FixedSender>(static_cast<int>(cap));
+      },
+      opts);
+  EXPECT_TRUE(res.metrics.completed);
+  EXPECT_EQ(res.metrics.max_edge_bits, cap);
 }
 
 TEST(Network, MessagesToHaltedNodesAreDropped) {

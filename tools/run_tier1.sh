@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build everything, run the full test suite.
+# Usage: tools/run_tier1.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
