@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/test_coloring[1]_include.cmake")
+include("/root/repo/build/test_extensions[1]_include.cmake")
+include("/root/repo/build/test_fuzz[1]_include.cmake")
+include("/root/repo/build/test_graph[1]_include.cmake")
+include("/root/repo/build/test_integration[1]_include.cmake")
+include("/root/repo/build/test_io[1]_include.cmake")
+include("/root/repo/build/test_matching_1eps[1]_include.cmake")
+include("/root/repo/build/test_matching_base[1]_include.cmake")
+include("/root/repo/build/test_matching_det[1]_include.cmake")
+include("/root/repo/build/test_matching_fast[1]_include.cmake")
+include("/root/repo/build/test_matching_lr[1]_include.cmake")
+include("/root/repo/build/test_maxis[1]_include.cmake")
+include("/root/repo/build/test_mis[1]_include.cmake")
+include("/root/repo/build/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/test_run_many[1]_include.cmake")
+include("/root/repo/build/test_sim[1]_include.cmake")
+include("/root/repo/build/test_support[1]_include.cmake")
