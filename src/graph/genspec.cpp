@@ -1,0 +1,257 @@
+#include "graph/genspec.hpp"
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "support/parse.hpp"
+
+namespace distapx::gen {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& spec, const std::string& why) {
+  throw SpecError("bad generator spec \"" + spec + "\": " + why);
+}
+
+/// Strict unsigned parse: the whole token must be digits.
+std::uint64_t parse_uint(const GenSpec& spec, std::size_t i,
+                         std::uint64_t max_value) {
+  const auto value = parse_uint_strict(spec.args[i], max_value);
+  if (!value) {
+    fail(spec.to_string(), "parameter " + std::to_string(i + 1) + " (\"" +
+                               spec.args[i] +
+                               "\") is not an integer in [0, " +
+                               std::to_string(max_value) + "]");
+  }
+  return *value;
+}
+
+NodeId parse_node_count(const GenSpec& spec, std::size_t i) {
+  // Cap well below the NodeId limit: adjacency offsets and per-run buffers
+  // multiply n, and a fat-fingered spec should fail fast, not OOM.
+  return static_cast<NodeId>(parse_uint(spec, i, 1u << 28));
+}
+
+double parse_double(const GenSpec& spec, std::size_t i) {
+  const auto value = parse_double_strict(spec.args[i]);
+  if (!value) {
+    fail(spec.to_string(), "parameter " + std::to_string(i + 1) + " (\"" +
+                               spec.args[i] + "\") is not a finite number");
+  }
+  return *value;
+}
+
+double parse_probability(const GenSpec& spec, std::size_t i) {
+  const double p = parse_double(spec, i);
+  if (p < 0.0 || p > 1.0) {
+    fail(spec.to_string(), "probability parameter " + std::to_string(i + 1) +
+                               " must be in [0, 1]");
+  }
+  return p;
+}
+
+struct Family {
+  const char* name;
+  const char* params;  // for usage text, e.g. "N:P"
+  /// Per-parameter kind, one char each: 'n' node count, 'u' small uint
+  /// (degree), 'h' tiny uint (dimensions/levels, <= 27), 'p' probability,
+  /// 'd' double. parse_spec validates values against this signature, so a
+  /// malformed spec fails at parse time, not at materialize time.
+  const char* sig;
+  Graph (*build)(const GenSpec&, Rng&);
+};
+
+const Family kFamilies[] = {
+    {"gnp", "N:P", "np",
+     [](const GenSpec& s, Rng& rng) {
+       return gnp(parse_node_count(s, 0), parse_probability(s, 1), rng);
+     }},
+    {"regular", "N:D", "nu",
+     [](const GenSpec& s, Rng& rng) {
+       return random_regular(parse_node_count(s, 0),
+                             static_cast<std::uint32_t>(parse_uint(s, 1, 1u << 20)),
+                             rng);
+     }},
+    {"bounded", "N:D", "nu",
+     [](const GenSpec& s, Rng& rng) {
+       return random_bounded_degree(
+           parse_node_count(s, 0),
+           static_cast<std::uint32_t>(parse_uint(s, 1, 1u << 20)), rng);
+     }},
+    {"bipartite", "A:B:P", "nnp",
+     [](const GenSpec& s, Rng& rng) {
+       return bipartite_gnp(parse_node_count(s, 0), parse_node_count(s, 1),
+                            parse_probability(s, 2), rng);
+     }},
+    {"tree", "N", "n",
+     [](const GenSpec& s, Rng& rng) {
+       return random_tree(parse_node_count(s, 0), rng);
+     }},
+    {"powerlaw", "N:BETA:AVGDEG", "ndd",
+     [](const GenSpec& s, Rng& rng) {
+       return power_law(parse_node_count(s, 0), parse_double(s, 1),
+                        parse_double(s, 2), rng);
+     }},
+    {"path", "N", "n",
+     [](const GenSpec& s, Rng&) { return path(parse_node_count(s, 0)); }},
+    {"cycle", "N", "n",
+     [](const GenSpec& s, Rng&) { return cycle(parse_node_count(s, 0)); }},
+    {"star", "N", "n",
+     [](const GenSpec& s, Rng&) { return star(parse_node_count(s, 0)); }},
+    {"complete", "N", "n",
+     [](const GenSpec& s, Rng&) { return complete(parse_node_count(s, 0)); }},
+    {"grid", "R:C", "nn",
+     [](const GenSpec& s, Rng&) {
+       return grid(parse_node_count(s, 0), parse_node_count(s, 1));
+     }},
+    {"hypercube", "D", "h",
+     [](const GenSpec& s, Rng&) {
+       return hypercube(static_cast<std::uint32_t>(parse_uint(s, 0, 27)));
+     }},
+    {"cbipartite", "A:B", "nn",
+     [](const GenSpec& s, Rng&) {
+       return complete_bipartite(parse_node_count(s, 0),
+                                 parse_node_count(s, 1));
+     }},
+    {"btree", "LEVELS", "h",
+     [](const GenSpec& s, Rng&) {
+       return balanced_binary_tree(
+           static_cast<std::uint32_t>(parse_uint(s, 0, 27)));
+     }},
+    {"caterpillar", "SPINE:LEGS", "nn",
+     [](const GenSpec& s, Rng&) {
+       return caterpillar(parse_node_count(s, 0), parse_node_count(s, 1));
+     }},
+    {"barbell", "K:BRIDGE", "nn",
+     [](const GenSpec& s, Rng&) {
+       return barbell(parse_node_count(s, 0), parse_node_count(s, 1));
+     }},
+    {"lollipop", "K:TAIL", "nn",
+     [](const GenSpec& s, Rng&) {
+       return lollipop(parse_node_count(s, 0), parse_node_count(s, 1));
+     }},
+};
+
+/// Parses every parameter against the family signature (throws SpecError).
+/// Also bounds the *product* of the integer parameters: families like
+/// grid:R:C or caterpillar:SPINE:LEGS multiply their parameters into node
+/// counts, and complete:N squares N into an edge count — each factor being
+/// in range does not keep the product from overflowing NodeId/EdgeId.
+void validate_values(const GenSpec& spec, const Family& f) {
+  constexpr std::uint64_t kSizeCap = 1u << 28;
+  std::uint64_t int_product = 1;
+  std::uint64_t first_int = 0;
+  for (std::size_t i = 0; f.sig[i] != '\0'; ++i) {
+    std::uint64_t v = 0;
+    switch (f.sig[i]) {
+      case 'n': v = parse_node_count(spec, i); break;
+      case 'u': v = parse_uint(spec, i, 1u << 20); break;
+      case 'h': v = parse_uint(spec, i, 27); break;
+      case 'p': parse_probability(spec, i); continue;
+      case 'd': parse_double(spec, i); continue;
+    }
+    int_product *= v > 1 ? v : 1;  // a 0/1 param must not mask the others
+    if (i == 0) first_int = v;
+  }
+  // Clique families put ~K^2/2 edges on their *first* parameter (the
+  // clique size); the bridge/tail length contributes only linearly.
+  const bool clique = spec.family == "complete" ||
+                      spec.family == "barbell" || spec.family == "lollipop";
+  // Random families grow their edge count through a real-valued density
+  // parameter that the integer product cannot see.
+  double expected_edges = 0;
+  if (spec.family == "gnp") {
+    const double n = static_cast<double>(parse_node_count(spec, 0));
+    expected_edges = n * (n - 1) / 2 * parse_probability(spec, 1);
+  } else if (spec.family == "bipartite") {
+    expected_edges = static_cast<double>(parse_node_count(spec, 0)) *
+                     static_cast<double>(parse_node_count(spec, 1)) *
+                     parse_probability(spec, 2);
+  } else if (spec.family == "powerlaw") {
+    expected_edges = static_cast<double>(parse_node_count(spec, 0)) *
+                     parse_double(spec, 2) / 2;
+  }
+  if (int_product > kSizeCap ||
+      (clique && first_int * first_int > 2 * kSizeCap) ||
+      expected_edges > static_cast<double>(kSizeCap)) {
+    fail(spec.to_string(),
+         "the requested graph would exceed the supported size "
+         "(node/edge ids are 32-bit; keep node counts, parameter products "
+         "and expected edge counts under 2^28)");
+  }
+}
+
+const Family& family_of(const GenSpec& spec) {
+  for (const Family& f : kFamilies) {
+    if (spec.family == f.name) return f;
+  }
+  fail(spec.to_string(), "unknown family \"" + spec.family + "\" (known: " +
+                             spec_usage() + ")");
+}
+
+}  // namespace
+
+std::string GenSpec::to_string() const {
+  std::string s = family;
+  for (const std::string& a : args) {
+    s += ':';
+    s += a;
+  }
+  return s;
+}
+
+GenSpec parse_spec(const std::string& spec) {
+  GenSpec parsed;
+  std::istringstream is(spec);
+  std::string part;
+  bool first = true;
+  while (std::getline(is, part, ':')) {
+    if (first) {
+      parsed.family = part;
+      first = false;
+    } else {
+      parsed.args.push_back(part);
+    }
+  }
+  if (parsed.family.empty()) fail(spec, "empty family name");
+  const Family& f = family_of(parsed);
+  const std::size_t arity = std::string(f.sig).size();
+  if (parsed.args.size() != arity) {
+    fail(spec, std::string("family ") + f.name + " takes " +
+                   std::to_string(arity) + " parameter(s) (" + f.name + ":" +
+                   f.params + "), got " +
+                   std::to_string(parsed.args.size()));
+  }
+  validate_values(parsed, f);
+  return parsed;
+}
+
+Graph materialize(const GenSpec& spec, Rng& rng) {
+  return family_of(spec).build(spec, rng);
+}
+
+Graph from_spec(const std::string& spec, Rng& rng) {
+  return materialize(parse_spec(spec), rng);
+}
+
+const std::vector<std::string>& spec_families() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const Family& f : kFamilies) v.emplace_back(f.name);
+    return v;
+  }();
+  return names;
+}
+
+std::string spec_usage() {
+  std::string s;
+  for (const Family& f : kFamilies) {
+    if (!s.empty()) s += ' ';
+    s += f.name;
+    s += ':';
+    s += f.params;
+  }
+  return s;
+}
+
+}  // namespace distapx::gen

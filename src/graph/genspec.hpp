@@ -1,0 +1,72 @@
+// Textual generator specs ("gnp:200:0.04", "grid:16:16", ...).
+//
+// The CLI's --gen flag, the batch-serving job files (service/job_spec.hpp)
+// and the tests all describe workload graphs with the same one-line spec
+// syntax: a family name followed by ':'-separated parameters. This module
+// is the single parser behind all of them; it reports malformed specs by
+// throwing SpecError (the CLI turns that into a usage message, the batch
+// server into a job-file diagnostic).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace distapx::gen {
+
+/// Thrown on an unknown family, wrong parameter count, or a parameter
+/// that does not parse / is out of range.
+class SpecError final : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A parsed (but not yet materialized) generator spec.
+struct GenSpec {
+  std::string family;
+  std::vector<std::string> args;
+
+  /// The raw "family:arg:arg" form the spec was parsed from.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Splits "family:a:b" into {family, {a, b}} and validates the family
+/// name, the parameter count, and every parameter value — including a
+/// coarse size cap (parameter products, clique squares and expected edge
+/// counts stay under 2^28) so oversized graphs fail here rather than OOM
+/// or overflow the 32-bit ids inside a generator.
+GenSpec parse_spec(const std::string& spec);
+
+/// Generates the graph a spec describes. Randomized families draw from
+/// `rng`; deterministic families (grid, star, ...) ignore it.
+///
+/// Families:
+///   gnp:N:P          Erdos-Renyi G(N, P)
+///   regular:N:D      random D-regular (pairing model)
+///   bounded:N:D      random graph with max degree <= D
+///   bipartite:A:B:P  random bipartite, cross edges w.p. P
+///   tree:N           uniform random labelled tree
+///   powerlaw:N:BETA:AVG  Chung-Lu power law
+///   path:N | cycle:N | star:N | complete:N
+///   grid:R:C         R x C four-neighbour grid
+///   hypercube:D      2^D nodes
+///   cbipartite:A:B   complete bipartite K_{A,B}
+///   btree:LEVELS     balanced binary tree
+///   caterpillar:SPINE:LEGS
+///   barbell:K:BRIDGE
+///   lollipop:K:TAIL
+Graph materialize(const GenSpec& spec, Rng& rng);
+
+/// parse_spec + materialize in one call.
+Graph from_spec(const std::string& spec, Rng& rng);
+
+/// Every family name accepted by parse_spec, in usage-text order.
+const std::vector<std::string>& spec_families();
+
+/// One-line usage summary ("gnp:N:P regular:N:D ...") for CLI help text.
+std::string spec_usage();
+
+}  // namespace distapx::gen

@@ -1,0 +1,147 @@
+// Sharded multi-graph batch serving.
+//
+// PR 1's sim::run_many made one (graph, algorithm) pair fast across seeds;
+// this subsystem serves an arbitrary *mix* of jobs — different graphs,
+// different algorithms, different seed ranges — over one shared worker
+// pool. Every job is sharded into per-seed work units; workers pull units
+// from one global queue, so a long job's tail no longer idles the threads
+// that finished a short job (the win bench_batch_serving measures).
+//
+// Each worker owns one reusable sim::Network through a NetworkLease and
+// rebinds it only when the unit it picked up belongs to a different graph
+// than the previous one — serving heterogeneous jobs back-to-back settles
+// into zero allocation once the largest graph in the mix has been seen.
+//
+// Determinism contract (tested by test_batch_server.cpp): RunRow i of job
+// j depends only on (spec_j, seed) — never on the thread count, on
+// scheduling order, or on what other jobs share the pool — and equals what
+// a sequential per-job run would produce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/job_spec.hpp"
+#include "sim/network.hpp"
+#include "support/table.hpp"
+
+namespace distapx::service {
+
+/// One (job, seed) execution, reduced to a uniform row.
+struct RunRow {
+  std::uint64_t seed = 0;
+  std::uint32_t rounds = 0;        ///< simulator rounds (summed over phases)
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint32_t max_edge_bits = 0;
+  bool completed = false;
+  std::uint64_t solution_size = 0;  ///< |IS| or |matching|
+  Weight objective = 0;             ///< weighted value (= size if unweighted)
+
+  friend bool operator==(const RunRow&, const RunRow&) = default;
+};
+
+/// A JobSpec with its workload materialized: the graph is generated or
+/// loaded once (deterministically from spec.graph_seed) and weights are
+/// sampled once. Per-seed execution is dispatched on spec.algorithm:
+/// single-program algorithms run on the worker's leased Network,
+/// multi-phase pipelines (mwm-2eps, mcm-1eps, ...) run their own internal
+/// networks.
+struct ResolvedJob {
+  JobSpec spec;
+  Graph graph;
+  NodeWeights node_weights;
+  EdgeWeights edge_weights;
+};
+
+/// Materializes a spec (throws JobError / gen::SpecError / EnsureError on
+/// an unknown algorithm, malformed spec, or unreadable graph file).
+ResolvedJob resolve_job(JobSpec spec);
+
+/// Per-worker cache of one reusable Network, rebound lazily as the worker
+/// serves work units from different jobs.
+class NetworkLease {
+ public:
+  sim::Network& acquire(const Graph& g) {
+    if (bound_ != &g) {
+      net_.rebind(g);
+      bound_ = &g;
+    }
+    return net_;
+  }
+
+ private:
+  sim::Network net_;
+  const Graph* bound_ = nullptr;
+};
+
+struct JobResult {
+  std::string name;
+  std::string algorithm;
+  std::string source;  ///< gen spec or file path
+  NodeId n = 0;
+  EdgeId m = 0;
+  std::uint32_t max_degree = 0;
+  std::vector<RunRow> rows;  ///< indexed like the job's seed range
+
+  // Aggregates over rows (folded in seed order — deterministic):
+  double mean_rounds = 0;
+  double mean_messages = 0;
+  double mean_bits = 0;
+  double mean_objective = 0;
+  Weight min_objective = 0;
+  Weight max_objective = 0;
+  bool all_completed = true;
+};
+
+struct BatchResult {
+  std::vector<JobResult> jobs;  ///< in submission order
+  std::uint64_t total_runs = 0;
+  unsigned threads_used = 0;
+  double wall_seconds = 0;  ///< timing only; excluded from determinism
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency (clamped to the unit count).
+  unsigned threads = 0;
+};
+
+/// Shards submitted jobs into per-seed work units and serves them over one
+/// shared worker pool.
+class BatchServer {
+ public:
+  explicit BatchServer(BatchOptions opts = {}) : opts_(opts) {}
+
+  /// Materializes and enqueues a job; returns its index. Throws on a spec
+  /// that cannot be resolved (nothing is partially enqueued).
+  std::size_t submit(JobSpec spec);
+
+  /// Convenience: submit every job of a parsed file.
+  void submit_all(const std::vector<JobSpec>& specs);
+
+  [[nodiscard]] std::size_t num_jobs() const noexcept { return jobs_.size(); }
+  [[nodiscard]] const ResolvedJob& job(std::size_t i) const {
+    return jobs_.at(i);
+  }
+
+  /// Runs every remaining (job, seed) unit to completion and returns the
+  /// structured results. Rethrows the first per-run exception after the
+  /// pool drains. May be called once per submitted batch; jobs stay
+  /// submitted, so a second serve() re-runs the same batch.
+  BatchResult serve();
+
+ private:
+  BatchOptions opts_;
+  std::vector<ResolvedJob> jobs_;
+};
+
+// ---- report emission (console / CSV / JSON via support/table) ------------
+
+/// One row per job: aggregates.
+Table summary_table(const BatchResult& r);
+
+/// One row per run: the raw RunRows (the determinism witness).
+Table runs_table(const BatchResult& r);
+
+}  // namespace distapx::service

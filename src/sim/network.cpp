@@ -79,8 +79,14 @@ void Ctx::halt(std::int64_t output) {
   slot.output = output;
 }
 
-Network::Network(const Graph& g) : g_(&g) {
+Network::Network(const Graph& g) { rebind(g); }
+
+void Network::rebind(const Graph& g) {
+  g_ = &g;
   const NodeId n = g.num_nodes();
+  // assign()/resize() keep the underlying capacity, so pointing the same
+  // Network at a sequence of graphs only ever grows the buffers to the
+  // largest graph seen.
   adj_base_.resize(n + 1);
   adj_base_[0] = 0;
   for (NodeId v = 0; v < n; ++v) adj_base_[v + 1] = adj_base_[v] + g.degree(v);
@@ -88,9 +94,12 @@ Network::Network(const Graph& g) : g_(&g) {
   inbox_off_.assign(n + 1, 0);
   inbox_fill_.assign(n, 0);
   slots_.resize(n);
+  staged_.clear();
+  touched_.clear();
 }
 
 RunResult Network::run(const ProgramFactory& factory, const RunOptions& opts) {
+  DISTAPX_ENSURE_MSG(g_ != nullptr, "Network::run on an unbound Network");
   const NodeId n = g_->num_nodes();
   cap_bits_ = opts.policy.cap_bits(n);
   enforce_ = opts.policy.bounded && opts.policy.enforce;

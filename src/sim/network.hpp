@@ -155,8 +155,19 @@ using ProgramFactory =
 /// per-run vector churn.
 class Network {
  public:
+  /// An unbound Network; rebind() before run(). Lets pooled workers (the
+  /// batch server) own one Network for their whole lifetime and point it
+  /// at whichever graph the current work unit needs.
+  Network() = default;
   explicit Network(const Graph& g);
 
+  /// Points the engine at `g`, resizing the flat transport buffers while
+  /// retaining their capacity. Serving runs on different graphs
+  /// back-to-back therefore settles into zero allocation once the largest
+  /// graph in the mix has been seen. `g` must outlive the binding.
+  void rebind(const Graph& g);
+
+  [[nodiscard]] bool bound() const noexcept { return g_ != nullptr; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
   /// Runs one algorithm to completion (all nodes halted) or to the round
@@ -184,7 +195,7 @@ class Network {
 
   void deliver_and_account(RunMetrics& metrics);
 
-  const Graph* g_;
+  const Graph* g_ = nullptr;
   std::vector<NodeSlot> slots_;
   std::uint32_t cap_bits_ = 0;
   bool enforce_ = false;

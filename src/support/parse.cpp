@@ -1,0 +1,32 @@
+#include "support/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+namespace distapx {
+
+std::optional<std::uint64_t> parse_uint_strict(const std::string& token,
+                                               std::uint64_t max_value) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() ||
+      value > max_value) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> parse_double_strict(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end != begin + token.size() || !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace distapx

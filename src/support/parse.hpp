@@ -1,0 +1,25 @@
+// Strict whole-token number parsing.
+//
+// The generator-spec and job-file parsers both need "this token is a
+// number, entirely, or it is an error" — std::stoul/strtod prefix
+// semantics silently accept "12x". These helpers return std::nullopt on
+// anything but a fully-consumed, in-range, finite value; callers shape the
+// error message (SpecError, JobError, usage_error).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace distapx {
+
+/// Non-negative integer; the whole token must be digits and the value at
+/// most `max_value`.
+std::optional<std::uint64_t> parse_uint_strict(const std::string& token,
+                                               std::uint64_t max_value);
+
+/// Finite double; the whole token must parse ("inf"/"nan" are rejected —
+/// every caller feeds the value into arithmetic that assumes finiteness).
+std::optional<double> parse_double_strict(const std::string& token);
+
+}  // namespace distapx

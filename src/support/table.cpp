@@ -74,4 +74,68 @@ void Table::write_csv(std::ostream& os) const {
       os << esc(row[c]) << (c + 1 < row.size() ? "," : "\n");
 }
 
+namespace {
+
+/// Conservative "already valid JSON number" test: optional minus, digits
+/// without a leading zero (RFC 8259 forbids 007), optional fraction. (No
+/// exponents — the tables never emit them.)
+bool is_plain_number(const std::string& s) {
+  std::size_t i = s.size() && s[0] == '-' ? 1 : 0;
+  if (i >= s.size()) return false;
+  if (s[i] == '0' && i + 1 < s.size() && s[i + 1] != '.') return false;
+  bool digits = false, dot = false;
+  for (; i < s.size(); ++i) {
+    if (s[i] >= '0' && s[i] <= '9') {
+      digits = true;
+    } else if (s[i] == '.' && !dot && digits && i + 1 < s.size()) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digits;
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(ch >> 4) & 0xf]
+             << "0123456789abcdef"[ch & 0xf];
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::write_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      write_json_string(os, headers_[c]);
+      os << ": ";
+      if (is_plain_number(rows_[r][c])) {
+        os << rows_[r][c];
+      } else {
+        write_json_string(os, rows_[r][c]);
+      }
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
 }  // namespace distapx

@@ -25,6 +25,9 @@ class Table {
 
   void print(std::ostream& os) const;
   void write_csv(std::ostream& os) const;
+  /// JSON array of objects keyed by the headers. Cells that parse as plain
+  /// numbers are emitted as JSON numbers, everything else as strings.
+  void write_json(std::ostream& os) const;
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 

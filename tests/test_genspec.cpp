@@ -1,0 +1,157 @@
+// The generator-spec parser (graph/genspec.hpp): a valid spec for every
+// family, plus the malformed-spec error paths that used to die inside the
+// CLI's usage_error instead of throwing something testable.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "graph/genspec.hpp"
+#include "support/random.hpp"
+
+namespace distapx {
+namespace {
+
+/// One known-good spec per family; ValidSpecForEveryFamily asserts the map
+/// stays in sync with gen::spec_families().
+const std::map<std::string, std::string>& sample_specs() {
+  static const std::map<std::string, std::string> specs = {
+      {"gnp", "gnp:80:0.05"},
+      {"regular", "regular:64:4"},
+      {"bounded", "bounded:60:5"},
+      {"bipartite", "bipartite:30:40:0.1"},
+      {"tree", "tree:50"},
+      {"powerlaw", "powerlaw:100:2.5:4"},
+      {"path", "path:17"},
+      {"cycle", "cycle:12"},
+      {"star", "star:9"},
+      {"complete", "complete:8"},
+      {"grid", "grid:5:7"},
+      {"hypercube", "hypercube:4"},
+      {"cbipartite", "cbipartite:4:6"},
+      {"btree", "btree:5"},
+      {"caterpillar", "caterpillar:10:3"},
+      {"barbell", "barbell:5:4"},
+      {"lollipop", "lollipop:6:5"},
+  };
+  return specs;
+}
+
+TEST(GenSpec, ValidSpecForEveryFamily) {
+  ASSERT_EQ(sample_specs().size(), gen::spec_families().size());
+  for (const std::string& family : gen::spec_families()) {
+    const auto it = sample_specs().find(family);
+    ASSERT_NE(it, sample_specs().end())
+        << "no sample spec for family " << family;
+    Rng rng(7);
+    const Graph g = gen::from_spec(it->second, rng);
+    EXPECT_GT(g.num_nodes(), 0u) << it->second;
+  }
+}
+
+TEST(GenSpec, KnownTopologies) {
+  Rng rng(1);
+  EXPECT_EQ(gen::from_spec("path:17", rng).num_edges(), 16u);
+  EXPECT_EQ(gen::from_spec("cycle:12", rng).num_edges(), 12u);
+  EXPECT_EQ(gen::from_spec("star:9", rng).num_edges(), 8u);
+  EXPECT_EQ(gen::from_spec("complete:8", rng).num_edges(), 28u);
+  EXPECT_EQ(gen::from_spec("grid:5:7", rng).num_nodes(), 35u);
+  EXPECT_EQ(gen::from_spec("hypercube:4", rng).num_nodes(), 16u);
+  EXPECT_EQ(gen::from_spec("cbipartite:4:6", rng).num_edges(), 24u);
+  EXPECT_EQ(gen::from_spec("btree:5", rng).num_nodes(), 31u);
+  EXPECT_EQ(gen::from_spec("caterpillar:10:3", rng).num_nodes(), 40u);
+  const Graph reg = gen::from_spec("regular:64:4", rng);
+  EXPECT_LE(reg.max_degree(), 4u);
+}
+
+TEST(GenSpec, ParseRoundTrip) {
+  const auto parsed = gen::parse_spec("bipartite:30:40:0.1");
+  EXPECT_EQ(parsed.family, "bipartite");
+  ASSERT_EQ(parsed.args.size(), 3u);
+  EXPECT_EQ(parsed.args[2], "0.1");
+  EXPECT_EQ(parsed.to_string(), "bipartite:30:40:0.1");
+}
+
+TEST(GenSpec, DeterministicForFixedRngSeed) {
+  for (const auto& [family, spec] : sample_specs()) {
+    Rng a(42), b(42);
+    const Graph ga = gen::from_spec(spec, a);
+    const Graph gb = gen::from_spec(spec, b);
+    EXPECT_EQ(ga.num_nodes(), gb.num_nodes()) << spec;
+    EXPECT_EQ(ga.num_edges(), gb.num_edges()) << spec;
+  }
+}
+
+TEST(GenSpec, UnknownFamily) {
+  Rng rng(1);
+  EXPECT_THROW(gen::from_spec("torus:5:5", rng), gen::SpecError);
+  EXPECT_THROW(gen::from_spec("", rng), gen::SpecError);
+  EXPECT_THROW(gen::from_spec(":5", rng), gen::SpecError);
+}
+
+TEST(GenSpec, WrongParameterCount) {
+  EXPECT_THROW(gen::parse_spec("gnp:100"), gen::SpecError);
+  EXPECT_THROW(gen::parse_spec("gnp:100:0.1:7"), gen::SpecError);
+  EXPECT_THROW(gen::parse_spec("path"), gen::SpecError);
+  EXPECT_THROW(gen::parse_spec("grid:4"), gen::SpecError);
+}
+
+TEST(GenSpec, MalformedNumbers) {
+  Rng rng(1);
+  EXPECT_THROW(gen::from_spec("path:ten", rng), gen::SpecError);
+  EXPECT_THROW(gen::from_spec("path:-5", rng), gen::SpecError);
+  EXPECT_THROW(gen::from_spec("path:12x", rng), gen::SpecError);
+  EXPECT_THROW(gen::from_spec("gnp:100:zero", rng), gen::SpecError);
+  EXPECT_THROW(gen::from_spec("path:999999999999999", rng), gen::SpecError);
+}
+
+TEST(GenSpec, OversizedGraphsFailAtParseTime) {
+  // Each parameter is individually in range but the product (or clique
+  // square) would overflow the 32-bit node/edge ids: must be a SpecError
+  // at parse time, not a crash inside the generator.
+  EXPECT_THROW(gen::parse_spec("grid:65536:65536"), gen::SpecError);
+  EXPECT_THROW(gen::parse_spec("cbipartite:100000:100000"), gen::SpecError);
+  EXPECT_THROW(gen::parse_spec("caterpillar:100000000:100"), gen::SpecError);
+  EXPECT_THROW(gen::parse_spec("complete:100000"), gen::SpecError);
+  EXPECT_THROW(gen::parse_spec("barbell:100000:0"), gen::SpecError);
+  EXPECT_NO_THROW(gen::parse_spec("grid:1000:1000"));
+  EXPECT_NO_THROW(gen::parse_spec("complete:1000"));
+  // Only the clique parameter is squared: a small clique with a long
+  // bridge/tail is linear-sized and must stay legal.
+  EXPECT_NO_THROW(gen::parse_spec("barbell:8:100000"));
+  EXPECT_NO_THROW(gen::parse_spec("lollipop:8:100000"));
+  // Density-driven families: the *expected edge count* is the quantity
+  // that overflows, not any single integer parameter.
+  EXPECT_THROW(gen::parse_spec("gnp:100000000:0.5"), gen::SpecError);
+  EXPECT_THROW(gen::parse_spec("bipartite:100000:100000:0.5"),
+               gen::SpecError);
+  EXPECT_THROW(gen::parse_spec("powerlaw:100000000:2.5:100"),
+               gen::SpecError);
+  EXPECT_NO_THROW(gen::parse_spec("gnp:100000:0.001"));
+}
+
+TEST(GenSpec, NonFiniteDoublesRejected) {
+  EXPECT_THROW(gen::parse_spec("powerlaw:100:nan:4"), gen::SpecError);
+  EXPECT_THROW(gen::parse_spec("powerlaw:100:inf:4"), gen::SpecError);
+}
+
+TEST(GenSpec, ProbabilityRange) {
+  Rng rng(1);
+  EXPECT_THROW(gen::from_spec("gnp:100:1.5", rng), gen::SpecError);
+  EXPECT_THROW(gen::from_spec("gnp:100:-0.1", rng), gen::SpecError);
+  EXPECT_THROW(gen::from_spec("bipartite:10:10:2", rng), gen::SpecError);
+  EXPECT_NO_THROW(gen::from_spec("gnp:100:0", rng));
+  EXPECT_NO_THROW(gen::from_spec("gnp:20:1", rng));
+}
+
+TEST(GenSpec, ErrorMessagesNameTheSpec) {
+  try {
+    gen::parse_spec("gnp:100");
+    FAIL() << "expected SpecError";
+  } catch (const gen::SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("gnp:100"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace distapx

@@ -204,5 +204,20 @@ TEST(Table, FmtHelpers) {
   EXPECT_EQ(Table::fmt(std::int64_t{-7}), "-7");
 }
 
+TEST(Table, WriteJson) {
+  Table t({"name", "count", "ratio"});
+  t.add_row({"alpha", "12", "0.50"});
+  t.add_row({"007", "-3", "say \"hi\"\n"});  // leading zero is NOT a number
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("{\"name\": \"alpha\", \"count\": 12, \"ratio\": 0.50}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\": \"007\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": -3"), std::string::npos) << json;
+  EXPECT_NE(json.find("say \\\"hi\\\"\\n"), std::string::npos) << json;
+}
+
 }  // namespace
 }  // namespace distapx

@@ -1,8 +1,11 @@
 // distapx_cli — run any of the paper's algorithms on a generated or
-// file-loaded graph, printing the solution and the CONGEST accounting.
+// file-loaded graph, printing the solution and the CONGEST accounting;
+// or serve a whole mixed-workload job file through the batch server.
 //
 // Usage:
 //   distapx_cli <algorithm> [options]
+//   distapx_cli batch <jobfile> [--threads N] [--csv F] [--json F]
+//                     [--runs F] [--quiet]
 //
 // Algorithms:
 //   luby           Luby's MIS
@@ -18,8 +21,7 @@
 //
 // Options:
 //   --graph FILE       load edge list (see graph/io.hpp)
-//   --gen SPEC         generate: gnp:N:P | regular:N:D | grid:R:C |
-//                      tree:N | bipartite:A:B:P | star:N | path:N
+//   --gen SPEC         generator spec (full list: graph/genspec.hpp)
 //   --seed S           run seed (default 1)
 //   --eps E            epsilon for the (2+ε)/(1+ε) algorithms
 //   --maxw W           random integer weights in [1, W] (default 100)
@@ -32,6 +34,7 @@
 
 #include "graph/algos.hpp"
 #include "graph/generators.hpp"
+#include "graph/genspec.hpp"
 #include "graph/io.hpp"
 #include "matching/lr_matching.hpp"
 #include "matching/lr_matching_det.hpp"
@@ -43,6 +46,10 @@
 #include "maxis/layered_maxis.hpp"
 #include "mis/ghaffari_nmis.hpp"
 #include "mis/luby.hpp"
+#include "service/batch_server.hpp"
+#include "service/job_spec.hpp"
+#include "support/assert.hpp"
+#include "support/parse.hpp"
 
 using namespace distapx;
 
@@ -63,49 +70,17 @@ struct Options {
   std::exit(2);
 }
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> parts;
-  std::istringstream is(s);
-  std::string part;
-  while (std::getline(is, part, sep)) parts.push_back(part);
-  return parts;
+std::uint64_t flag_uint(const std::string& flag, const std::string& tok,
+                        std::uint64_t max_value = UINT64_MAX) {
+  const auto v = parse_uint_strict(tok, max_value);
+  if (!v) usage_error(flag + " " + tok + " is not a non-negative integer");
+  return *v;
 }
 
-Graph generate(const std::string& spec, Rng& rng) {
-  const auto parts = split(spec, ':');
-  const auto arg = [&](std::size_t i) {
-    if (i >= parts.size()) usage_error("missing parameter in --gen " + spec);
-    return parts[i];
-  };
-  const std::string& family = arg(0);
-  if (family == "gnp") {
-    return gen::gnp(static_cast<NodeId>(std::stoul(arg(1))),
-                    std::stod(arg(2)), rng);
-  }
-  if (family == "regular") {
-    return gen::random_regular(static_cast<NodeId>(std::stoul(arg(1))),
-                               static_cast<std::uint32_t>(std::stoul(arg(2))),
-                               rng);
-  }
-  if (family == "grid") {
-    return gen::grid(static_cast<NodeId>(std::stoul(arg(1))),
-                     static_cast<NodeId>(std::stoul(arg(2))));
-  }
-  if (family == "tree") {
-    return gen::random_tree(static_cast<NodeId>(std::stoul(arg(1))), rng);
-  }
-  if (family == "bipartite") {
-    return gen::bipartite_gnp(static_cast<NodeId>(std::stoul(arg(1))),
-                              static_cast<NodeId>(std::stoul(arg(2))),
-                              std::stod(arg(3)), rng);
-  }
-  if (family == "star") {
-    return gen::star(static_cast<NodeId>(std::stoul(arg(1))));
-  }
-  if (family == "path") {
-    return gen::path(static_cast<NodeId>(std::stoul(arg(1))));
-  }
-  usage_error("unknown family in --gen " + spec);
+double flag_double(const std::string& flag, const std::string& tok) {
+  const auto v = parse_double_strict(tok);
+  if (!v) usage_error(flag + " " + tok + " is not a finite number");
+  return *v;
 }
 
 void print_metrics(const sim::RunMetrics& m) {
@@ -130,6 +105,84 @@ void write_edges(const std::string& path, const std::vector<EdgeId>& ids) {
   std::cout << "  solution written to " << path << "\n";
 }
 
+void write_table(const std::string& path, const Table& table, bool json) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) usage_error("cannot write " + path);
+  if (json) {
+    table.write_json(os);
+  } else {
+    table.write_csv(os);
+  }
+  std::cout << "wrote " << path << "\n";
+}
+
+/// `distapx_cli batch <jobfile>`: serve a mixed workload through the batch
+/// server and emit the per-job summary (and optionally per-run rows).
+int run_batch(int argc, char** argv) {
+  if (argc < 3) {
+    usage_error("batch needs a job file (one key=value job per line)");
+  }
+  const std::string job_file = argv[2];
+  service::BatchOptions batch_opts;
+  std::string csv_file, json_file, runs_file;
+  bool quiet = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--threads") {
+      batch_opts.threads =
+          static_cast<unsigned>(flag_uint(flag, value(), 1u << 16));
+    } else if (flag == "--csv") {
+      csv_file = value();
+    } else if (flag == "--json") {
+      json_file = value();
+    } else if (flag == "--runs") {
+      runs_file = value();
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else {
+      usage_error("unknown batch flag " + flag);
+    }
+  }
+
+  service::BatchServer server(batch_opts);
+  try {
+    server.submit_all(service::load_job_file(job_file));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << job_file << ": " << e.what() << "\n";
+    return 2;
+  }
+  if (server.num_jobs() == 0) {
+    std::cerr << "error: " << job_file << " contains no jobs\n";
+    return 2;
+  }
+
+  service::BatchResult result;
+  try {
+    result = server.serve();
+  } catch (const std::exception& e) {
+    // e.g. a CONGEST violation under an enforcing policy mid-batch.
+    std::cerr << "error: batch failed: " << e.what() << "\n";
+    return 1;
+  }
+  const Table summary = service::summary_table(result);
+  const Table runs = service::runs_table(result);
+  if (!quiet) {
+    summary.print(std::cout);
+    std::cout << result.total_runs << " runs over " << result.jobs.size()
+              << " jobs on " << result.threads_used << " threads in "
+              << Table::fmt(result.wall_seconds, 3) << "s\n";
+  }
+  write_table(csv_file, summary, /*json=*/false);
+  write_table(json_file, summary, /*json=*/true);
+  write_table(runs_file, runs, /*json=*/false);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,12 +190,14 @@ int main(int argc, char** argv) {
     std::cout
         << "usage: distapx_cli <algorithm> [--graph FILE | --gen SPEC] "
            "[--seed S] [--eps E] [--maxw W] [--out FILE]\n"
+           "       distapx_cli batch <jobfile> [--threads N] [--csv F] "
+           "[--json F] [--runs F] [--quiet]\n"
            "algorithms: luby nmis maxis-alg2 maxis-alg3 mwm-lr mwm-lr-det "
            "mcm-2eps mwm-2eps mcm-1eps proposal\n"
-           "gen specs: gnp:N:P regular:N:D grid:R:C tree:N "
-           "bipartite:A:B:P star:N path:N\n";
+           "gen specs: " << gen::spec_usage() << "\n";
     return 0;
   }
+  if (std::string(argv[1]) == "batch") return run_batch(argc, argv);
   Options opt;
   opt.algorithm = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -156,11 +211,11 @@ int main(int argc, char** argv) {
     } else if (flag == "--gen") {
       opt.gen_spec = value();
     } else if (flag == "--seed") {
-      opt.seed = std::stoull(value());
+      opt.seed = flag_uint(flag, value());
     } else if (flag == "--eps") {
-      opt.eps = std::stod(value());
+      opt.eps = flag_double(flag, value());
     } else if (flag == "--maxw") {
-      opt.max_w = std::stoll(value());
+      opt.max_w = static_cast<Weight>(flag_uint(flag, value(), 1u << 30));
     } else if (flag == "--out") {
       opt.out_file = value();
     } else {
@@ -172,11 +227,19 @@ int main(int argc, char** argv) {
   Graph g;
   std::optional<EdgeWeights> loaded_ew;
   if (!opt.graph_file.empty()) {
-    auto loaded = io::load_edge_list(opt.graph_file);
-    g = std::move(loaded.graph);
-    loaded_ew = std::move(loaded.edge_weights);
+    try {
+      auto loaded = io::load_edge_list(opt.graph_file);
+      g = std::move(loaded.graph);
+      loaded_ew = std::move(loaded.edge_weights);
+    } catch (const EnsureError& e) {
+      usage_error(e.what());
+    }
   } else {
-    g = generate(opt.gen_spec, rng);
+    try {
+      g = gen::from_spec(opt.gen_spec, rng);
+    } catch (const gen::SpecError& e) {
+      usage_error(e.what());
+    }
   }
   std::cout << "graph: n=" << g.num_nodes() << " m=" << g.num_edges()
             << " Δ=" << g.max_degree() << "\n";
@@ -188,6 +251,7 @@ int main(int argc, char** argv) {
                 : gen::uniform_edge_weights(g.num_edges(), opt.max_w, rng);
 
   const std::string& a = opt.algorithm;
+  try {
   if (a == "luby") {
     const auto r = run_luby_mis(g, opt.seed);
     std::cout << "MIS size " << r.independent_set.size() << "\n";
@@ -266,6 +330,12 @@ int main(int argc, char** argv) {
     write_edges(opt.out_file, r.matching);
   } else {
     usage_error("unknown algorithm " + a);
+  }
+  } catch (const EnsureError& e) {
+    // A violated invariant (e.g. a CONGEST cap breach) is a diagnostic,
+    // not a crash.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
   return 0;
 }
