@@ -1,5 +1,6 @@
 #include "graph/genspec.hpp"
 
+#include <charconv>
 #include <sstream>
 
 #include "graph/generators.hpp"
@@ -232,6 +233,34 @@ Graph materialize(const GenSpec& spec, Rng& rng) {
 
 Graph from_spec(const std::string& spec, Rng& rng) {
   return materialize(parse_spec(spec), rng);
+}
+
+std::string canonical_spec(const std::string& spec) {
+  const GenSpec parsed = parse_spec(spec);  // validates family/arity/values
+  const Family& f = family_of(parsed);
+  std::string out = parsed.family;
+  for (std::size_t i = 0; i < parsed.args.size(); ++i) {
+    out += ':';
+    switch (f.sig[i]) {
+      case 'p':
+      case 'd': {
+        // Shortest round-trip rendering: two decimal spellings of the same
+        // double ("0.50", ".5") canonicalize identically, and distinct
+        // doubles never merge.
+        char buf[32];
+        const auto res =
+            std::to_chars(buf, buf + sizeof(buf), parse_double(parsed, i));
+        out.append(buf, res.ptr);
+        break;
+      }
+      default:
+        // Integer kinds ('n', 'u', 'h'): re-render the parsed value, which
+        // strips leading zeros. validate_values already range-checked it.
+        out += std::to_string(*parse_uint_strict(parsed.args[i], UINT64_MAX));
+        break;
+    }
+  }
+  return out;
 }
 
 const std::vector<std::string>& spec_families() {

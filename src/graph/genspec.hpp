@@ -63,6 +63,14 @@ Graph materialize(const GenSpec& spec, Rng& rng);
 /// parse_spec + materialize in one call.
 Graph from_spec(const std::string& spec, Rng& rng);
 
+/// Canonical text form of a valid spec: the family name followed by each
+/// parameter re-rendered numerically (integers without leading zeros,
+/// doubles in shortest round-trip form), so any two spellings of the same
+/// workload — "gnp:0100:0.50" and "gnp:100:.5" — canonicalize to the same
+/// string. The result-cache fingerprint (service/result_cache.hpp) is
+/// keyed on this form. Throws SpecError on an invalid spec.
+std::string canonical_spec(const std::string& spec);
+
 /// Every family name accepted by parse_spec, in usage-text order.
 const std::vector<std::string>& spec_families();
 

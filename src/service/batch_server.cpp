@@ -23,6 +23,7 @@
 #include "maxis/layered_maxis.hpp"
 #include "mis/ghaffari_nmis.hpp"
 #include "mis/luby.hpp"
+#include "service/result_cache.hpp"
 #include "sim/run_many.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
@@ -180,6 +181,7 @@ ResolvedJob resolve_job(JobSpec spec) {
 
   ResolvedJob job;
   job.spec = std::move(spec);
+  job.cache_key_prefix = job_fingerprinter(job.spec);
 
   // Same derivation as the single-run CLI: one RNG stream seeds the
   // generator and then the weights, so a job's workload is a pure function
@@ -234,6 +236,7 @@ BatchResult BatchServer::serve() {
   const auto start = std::chrono::steady_clock::now();
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> cache_hits{0};
   std::mutex error_mu;
   std::exception_ptr error;
   auto drain = [&] {
@@ -244,7 +247,27 @@ BatchResult BatchServer::serve() {
       const Unit u = units[i];
       const ResolvedJob& job = jobs_[u.job];
       try {
-        rows[u.job][u.run] = dispatch(job, lease, job.spec.seed_at(u.run));
+        const std::uint64_t seed = job.spec.seed_at(u.run);
+        if (opts_.cache != nullptr) {
+          const Fingerprint key =
+              run_fingerprint(job.cache_key_prefix, seed);
+          if (auto cached = opts_.cache->lookup(key)) {
+            rows[u.job][u.run] = *cached;
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          rows[u.job][u.run] = dispatch(job, lease, seed);
+          try {
+            opts_.cache->store(key, rows[u.job][u.run]);
+          } catch (const JobError&) {
+            // A fill failure (disk full, unwritable cache dir) degrades
+            // this unit to uncached serving; the computed row is already
+            // in hand and must not be discarded, let alone fail the
+            // batch. The next lookup of this key simply misses again.
+          }
+        } else {
+          rows[u.job][u.run] = dispatch(job, lease, seed);
+        }
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mu);
@@ -267,6 +290,7 @@ BatchResult BatchServer::serve() {
   if (error) std::rethrow_exception(error);
 
   BatchResult result;
+  result.cache_hits = cache_hits.load(std::memory_order_relaxed);
   result.threads_used = workers;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -307,6 +331,7 @@ BatchResult BatchServer::serve() {
     result.total_runs += jr.rows.size();
     result.jobs.push_back(std::move(jr));
   }
+  result.computed = result.total_runs - result.cache_hits;
   return result;
 }
 

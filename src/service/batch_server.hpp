@@ -24,6 +24,7 @@
 
 #include "service/job_spec.hpp"
 #include "sim/network.hpp"
+#include "support/fingerprint.hpp"
 #include "support/table.hpp"
 
 namespace distapx::service {
@@ -53,6 +54,10 @@ struct ResolvedJob {
   Graph graph;
   NodeWeights node_weights;
   EdgeWeights edge_weights;
+  /// Per-job result-cache key prefix (job_fingerprinter, result_cache.hpp)
+  /// — per-seed keys absorb just the seed instead of re-canonicalizing the
+  /// spec on every unit.
+  Fingerprinter cache_key_prefix;
 };
 
 /// Materializes a spec (throws JobError / gen::SpecError / EnsureError on
@@ -98,13 +103,22 @@ struct JobResult {
 struct BatchResult {
   std::vector<JobResult> jobs;  ///< in submission order
   std::uint64_t total_runs = 0;
+  std::uint64_t cache_hits = 0;  ///< runs served from the result cache
+  std::uint64_t computed = 0;    ///< runs actually executed
   unsigned threads_used = 0;
   double wall_seconds = 0;  ///< timing only; excluded from determinism
 };
 
+class ResultCache;  // service/result_cache.hpp
+
 struct BatchOptions {
   /// Worker threads; 0 = hardware concurrency (clamped to the unit count).
   unsigned threads = 0;
+  /// Optional result cache: hits skip execution, misses are computed and
+  /// filled. Rows are bit-identical either way (the cache stores the full
+  /// RunRow keyed on everything it depends on — see result_cache.hpp).
+  /// Not owned; must outlive serve().
+  ResultCache* cache = nullptr;
 };
 
 /// Shards submitted jobs into per-seed work units and serves them over one

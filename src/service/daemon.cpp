@@ -1,0 +1,169 @@
+#include "service/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "service/batch_server.hpp"
+#include "service/job_spec.hpp"
+#include "support/table.hpp"
+
+namespace distapx::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir)) {
+    throw JobError("cannot create spool directory " + dir + ": " +
+                   ec.message());
+  }
+}
+
+/// rename() when possible, copy+remove across filesystems. Throws: a job
+/// file that cannot leave the spool would otherwise be re-served on every
+/// poll cycle forever.
+void move_file(const fs::path& from, const fs::path& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (!ec) return;
+  fs::copy_file(from, to, fs::copy_options::overwrite_existing, ec);
+  if (!ec) fs::remove(from, ec);
+  if (ec) {
+    throw JobError("cannot move " + from.string() + " to " + to.string() +
+                   ": " + ec.message());
+  }
+}
+
+/// Publication must not silently truncate: a short runs.csv reported as
+/// success would be a corrupt determinism witness.
+void write_text(const fs::path& path, const std::string& text) {
+  std::ofstream os(path);
+  os << text;
+  os.flush();
+  if (!os) throw JobError("cannot write " + path.string());
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {
+  if (opts_.spool_dir.empty()) throw JobError("daemon needs a spool dir");
+  ensure_dir(opts_.spool_dir);
+  ensure_dir(opts_.spool_dir + "/done");
+  ensure_dir(opts_.spool_dir + "/failed");
+  if (!opts_.cache_dir.empty()) cache_.emplace(opts_.cache_dir);
+}
+
+JobFileReport Daemon::process_file(const std::string& path) {
+  const fs::path job_path(path);
+  JobFileReport report;
+  report.name = job_path.stem().string();
+  const fs::path done = fs::path(opts_.spool_dir) / "done";
+  const fs::path failed = fs::path(opts_.spool_dir) / "failed";
+
+  try {
+    BatchOptions batch_opts;
+    batch_opts.threads = opts_.threads;
+    batch_opts.cache = cache();
+    BatchServer server(batch_opts);
+    server.submit_all(load_job_file(path));
+    if (server.num_jobs() == 0) throw JobError("job file contains no jobs");
+    const BatchResult result = server.serve();
+
+    report.ok = true;
+    report.runs = result.total_runs;
+    report.cache_hits = result.cache_hits;
+    report.computed = result.computed;
+    report.wall_seconds = result.wall_seconds;
+
+    // Publish results before moving the job file: a crash between the two
+    // leaves the file in the spool to be re-served (idempotent thanks to
+    // the cache), never a consumed-but-unreported job.
+    {
+      std::ostringstream os;
+      summary_table(result).write_csv(os);
+      write_text(done / (report.name + ".summary.csv"), os.str());
+    }
+    {
+      std::ostringstream os;
+      runs_table(result).write_csv(os);
+      write_text(done / (report.name + ".runs.csv"), os.str());
+    }
+    write_text(done / (report.name + ".report.txt"),
+               "job_file " + job_path.filename().string() + "\n" +
+                   "jobs " + std::to_string(result.jobs.size()) + "\n" +
+                   "runs " + std::to_string(report.runs) + "\n" +
+                   "served_from_cache " + std::to_string(report.cache_hits) +
+                   "\n" + "computed " + std::to_string(report.computed) +
+                   "\n" + "hit_rate " + Table::fmt(report.hit_rate(), 4) +
+                   "\n" + "wall_seconds " +
+                   Table::fmt(report.wall_seconds, 4) + "\n");
+    move_file(job_path, done / job_path.filename());
+  } catch (const std::exception& e) {
+    // Quarantine: the diagnostic (with its line number, for parse errors)
+    // lands next to the offending file and the daemon keeps serving.
+    report.ok = false;
+    report.error = e.what();
+    try {
+      write_text(failed / (report.name + ".error"), report.error + "\n");
+      move_file(job_path, failed / job_path.filename());
+    } catch (const std::exception&) {
+      // Even the quarantine failed (spool subdirs unwritable, disk
+      // full). Pin the file so the poll loop does not re-serve it
+      // forever; the operator sees the fault in the returned report.
+      stuck_.insert(job_path.filename().string());
+    }
+  }
+  return report;
+}
+
+std::vector<JobFileReport> Daemon::drain_once() {
+  // Claim order is lexicographic on the file name, never directory order:
+  // a drained spool produces the same sequence of reports on every
+  // platform and filesystem.
+  std::vector<fs::path> batch;
+  std::error_code ec;
+  for (fs::directory_iterator it(opts_.spool_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec) && it->path().extension() == ".job" &&
+        stuck_.count(it->path().filename().string()) == 0) {
+      batch.push_back(it->path());
+    }
+  }
+  std::sort(batch.begin(), batch.end());
+
+  std::vector<JobFileReport> reports;
+  for (const fs::path& p : batch) {
+    if (stop_.load()) break;
+    if (opts_.max_files != 0 && served_ >= opts_.max_files) break;
+    reports.push_back(process_file(p.string()));
+    ++served_;
+  }
+  return reports;
+}
+
+std::vector<JobFileReport> Daemon::run() {
+  const fs::path sentinel = fs::path(opts_.spool_dir) / "stop";
+  std::vector<JobFileReport> all;
+  for (;;) {
+    std::error_code ec;
+    if (fs::exists(sentinel, ec)) {
+      fs::remove(sentinel, ec);
+      break;
+    }
+    auto reports = drain_once();
+    all.insert(all.end(), std::make_move_iterator(reports.begin()),
+               std::make_move_iterator(reports.end()));
+    if (stop_.load()) break;
+    if (opts_.max_files != 0 && served_ >= opts_.max_files) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts_.poll_ms));
+  }
+  return all;
+}
+
+}  // namespace distapx::service

@@ -1,0 +1,116 @@
+// Long-lived spool-serving daemon.
+//
+// The batch server (batch_server.hpp) serves one job file per process
+// invocation; the daemon turns that into a service: it watches a spool
+// directory for job files, runs each through a BatchServer backed by an
+// optional result cache (result_cache.hpp), and publishes per-file results
+// next to the spool. Producers submit work with an atomic rename into the
+// spool — write "sweep.tmp", rename to "sweep.job" — so the daemon never
+// reads a half-written file; only names ending in ".job" are claimed.
+//
+// Spool layout (all created by the constructor):
+//   <spool>/NAME.job              incoming work, claimed in lexicographic
+//                                 name order (deterministic)
+//   <spool>/done/NAME.job         processed job file (moved, audit trail)
+//   <spool>/done/NAME.summary.csv one row per job (aggregates)
+//   <spool>/done/NAME.runs.csv    one row per run (determinism witness)
+//   <spool>/done/NAME.report.txt  served/computed/hit-rate counters
+//   <spool>/failed/NAME.job       quarantined malformed file
+//   <spool>/failed/NAME.error     its line-numbered diagnostic
+//   <spool>/stop                  sentinel: daemon removes it and exits
+//
+// Determinism contract: NAME.summary.csv and NAME.runs.csv are pure
+// functions of the job file's content (and kEngineVersion) — independent
+// of thread count, of cache warmth, and of what else sits in the spool.
+// The report.txt counters (hit rate, wall time) are operational telemetry
+// and deliberately live outside that contract.
+//
+// A malformed job file is quarantined with its JobError and the daemon
+// keeps serving; it never wedges the spool. A file that cannot be *moved*
+// out of the spool (done/failed unwritable, disk full) is pinned in-memory
+// and skipped on later scans instead of being re-served every poll cycle;
+// restart the daemon after fixing the filesystem to retry it. run() is
+// cleanly stoppable via request_stop() (from another thread or a signal
+// handler) or by touching the "stop" sentinel from outside the process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "service/result_cache.hpp"
+
+namespace distapx::service {
+
+struct DaemonOptions {
+  std::string spool_dir;  ///< required; created if absent
+  /// Result-cache directory; empty = serve without a cache.
+  std::string cache_dir;
+  /// Worker threads per job file (BatchOptions::threads semantics).
+  unsigned threads = 0;
+  /// Delay between spool scans in run(), in milliseconds.
+  std::uint32_t poll_ms = 200;
+  /// Stop after serving this many job files (0 = no limit). Lets tests and
+  /// one-shot CLI invocations bound the daemon's lifetime.
+  std::uint64_t max_files = 0;
+};
+
+/// Outcome of one job file, as recorded in done/NAME.report.txt.
+struct JobFileReport {
+  std::string name;   ///< job-file stem ("sweep" for sweep.job)
+  bool ok = false;
+  std::string error;  ///< the quarantining diagnostic when !ok
+  std::uint64_t runs = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t computed = 0;
+  double wall_seconds = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return runs == 0 ? 0.0
+                     : static_cast<double>(cache_hits) /
+                           static_cast<double>(runs);
+  }
+};
+
+class Daemon {
+ public:
+  /// Creates the spool layout (and the cache, when configured). Throws
+  /// JobError if a directory cannot be created.
+  explicit Daemon(DaemonOptions opts);
+
+  /// Serves one job file already inside the spool: parse, serve, publish
+  /// results, move to done/ (or quarantine to failed/). Never throws on a
+  /// bad job file — the failure becomes the report.
+  JobFileReport process_file(const std::string& path);
+
+  /// One spool scan: claims every *.job file in lexicographic name order.
+  std::vector<JobFileReport> drain_once();
+
+  /// Poll loop: drain, sleep poll_ms, repeat — until request_stop(), the
+  /// stop sentinel, or max_files. Returns reports in processing order.
+  std::vector<JobFileReport> run();
+
+  /// Safe from other threads and from signal handlers.
+  void request_stop() noexcept { stop_.store(true); }
+
+  [[nodiscard]] bool stop_requested() const noexcept { return stop_.load(); }
+  [[nodiscard]] const DaemonOptions& options() const noexcept { return opts_; }
+  /// Null when no cache_dir was configured.
+  [[nodiscard]] ResultCache* cache() noexcept {
+    return cache_ ? &*cache_ : nullptr;
+  }
+
+ private:
+  DaemonOptions opts_;
+  std::optional<ResultCache> cache_;  ///< engaged iff cache_dir is set
+  std::atomic<bool> stop_{false};
+  std::uint64_t served_ = 0;
+  /// Job-file names that could not be moved out of the spool: skipped by
+  /// drain_once so a broken done/failed directory cannot busy-loop run().
+  std::unordered_set<std::string> stuck_;
+};
+
+}  // namespace distapx::service

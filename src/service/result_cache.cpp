@@ -1,0 +1,219 @@
+#include "service/result_cache.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "graph/genspec.hpp"
+
+namespace distapx::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'X', 'R', 'C'};
+/// Guards deserialization only; kEngineVersion guards run semantics.
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// Explicit little-endian packing: entries must be readable across
+/// platforms regardless of host endianness or struct layout.
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xff);
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+// magic + format + engine + key(16) + row(53) + checksum(16)
+constexpr std::size_t kRowBytes = 8 + 4 + 8 + 8 + 4 + 1 + 8 + 8 + 4;
+constexpr std::size_t kEntryBytes = 4 + 4 + 4 + 16 + kRowBytes + 16;
+
+std::vector<unsigned char> encode(const Fingerprint& key, const RunRow& row) {
+  std::vector<unsigned char> buf;
+  buf.reserve(kEntryBytes);
+  buf.insert(buf.end(), kMagic, kMagic + 4);
+  put_u32(buf, kFormatVersion);
+  put_u32(buf, kEngineVersion);
+  put_u64(buf, key.hi);
+  put_u64(buf, key.lo);
+  put_u64(buf, row.seed);
+  put_u32(buf, row.rounds);
+  put_u64(buf, row.messages);
+  put_u64(buf, row.total_bits);
+  put_u32(buf, row.max_edge_bits);
+  buf.push_back(row.completed ? 1 : 0);
+  put_u64(buf, row.solution_size);
+  put_u64(buf, static_cast<std::uint64_t>(row.objective));
+  put_u32(buf, 0);  // reserved
+  const Fingerprint sum = fingerprint_bytes(buf.data(), buf.size());
+  put_u64(buf, sum.hi);
+  put_u64(buf, sum.lo);
+  return buf;
+}
+
+/// Full validation: length, magic, versions, key echo, checksum. Any
+/// mismatch returns nullopt — the caller recomputes.
+std::optional<RunRow> decode(const std::vector<unsigned char>& buf,
+                             const Fingerprint& key) {
+  if (buf.size() != kEntryBytes) return std::nullopt;
+  const unsigned char* p = buf.data();
+  if (std::memcmp(p, kMagic, 4) != 0) return std::nullopt;
+  if (get_u32(p + 4) != kFormatVersion) return std::nullopt;
+  if (get_u32(p + 8) != kEngineVersion) return std::nullopt;
+  if (get_u64(p + 12) != key.hi || get_u64(p + 20) != key.lo) {
+    return std::nullopt;
+  }
+  const std::size_t body = kEntryBytes - 16;
+  const Fingerprint sum = fingerprint_bytes(p, body);
+  if (get_u64(p + body) != sum.hi || get_u64(p + body + 8) != sum.lo) {
+    return std::nullopt;
+  }
+  RunRow row;
+  p += 28;
+  row.seed = get_u64(p);
+  row.rounds = get_u32(p + 8);
+  row.messages = get_u64(p + 12);
+  row.total_bits = get_u64(p + 20);
+  row.max_edge_bits = get_u32(p + 28);
+  row.completed = p[32] != 0;
+  row.solution_size = get_u64(p + 33);
+  row.objective = static_cast<Weight>(get_u64(p + 41));
+  return row;
+}
+
+}  // namespace
+
+Fingerprinter job_fingerprinter(const JobSpec& spec) {
+  Fingerprinter fp;
+  fp.add_string("distapx.run");
+  fp.add_u32(kEngineVersion);
+  fp.add_string(spec.algorithm);
+  if (!spec.gen_spec.empty()) {
+    fp.add_string("gen");
+    fp.add_string(gen::canonical_spec(spec.gen_spec));
+  } else {
+    // File-backed workloads key on the path; the cache assumes graph files
+    // are immutable (regenerate into a fresh path, or clear the cache).
+    fp.add_string("file");
+    fp.add_string(spec.graph_file);
+  }
+  fp.add_u64(spec.graph_seed);
+  fp.add_i64(spec.max_w);
+  fp.add_bool(spec.policy.bounded);
+  fp.add_u32(spec.policy.multiplier);
+  fp.add_bool(spec.policy.enforce);
+  fp.add_double(spec.eps);
+  fp.add_u32(spec.max_rounds);
+  return fp;
+}
+
+Fingerprint run_fingerprint(const JobSpec& spec, std::uint64_t seed) {
+  return run_fingerprint(job_fingerprinter(spec), seed);
+}
+
+Fingerprint run_fingerprint(Fingerprinter job_prefix, std::uint64_t seed) {
+  job_prefix.add_u64(seed);
+  return job_prefix.digest();
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw JobError("cannot create cache directory " + dir_ + ": " +
+                   ec.message());
+  }
+}
+
+std::string ResultCache::entry_path(const Fingerprint& key) const {
+  const std::string hex = key.hex();
+  return dir_ + "/" + hex.substr(0, 2) + "/" + hex.substr(2) + ".rr";
+}
+
+std::optional<RunRow> ResultCache::lookup(const Fingerprint& key) {
+  std::ifstream is(entry_path(key), std::ios::binary);
+  if (!is) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::vector<unsigned char> buf(kEntryBytes + 1);
+  is.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  buf.resize(static_cast<std::size_t>(is.gcount()));
+  auto row = decode(buf, key);
+  if (!row) {
+    // The entry existed but failed validation: corrupt, truncated, or a
+    // stale version. Count it separately — a burst of rejects after an
+    // engine bump is expected, a burst during steady state is not.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return row;
+}
+
+void ResultCache::store(const Fingerprint& key, const RunRow& row) {
+  const std::string path = entry_path(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  // Unique temp name per (process, store): concurrent fills never write
+  // the same temp file, and rename() makes publication atomic.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(temp_counter_.fetch_add(1, std::memory_order_relaxed));
+  const auto buf = encode(key, row);
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size()));
+    if (!os) {
+      os.close();
+      fs::remove(tmp, ec);
+      throw JobError("cannot write cache entry " + tmp);
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw JobError("cannot publish cache entry " + path + ": " +
+                   ec.message());
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CacheStats ResultCache::stats() const noexcept {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResultCache::reset_stats() noexcept {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  stores_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace distapx::service

@@ -1,0 +1,99 @@
+// Content-addressed on-disk cache of per-run results.
+//
+// Every RunRow the batch server produces is a deterministic function of
+// (workload description, algorithm, seed, engine version) — the same
+// determinism contract test_batch_server.cpp asserts across thread counts.
+// That makes each run perfectly memoizable: the cache addresses one RunRow
+// by a 128-bit fingerprint of the run's full input description and serves
+// repeated experiment sweeps from disk instead of recomputing them.
+//
+// Key derivation (run_fingerprint): kEngineVersion, the algorithm id, the
+// *canonical* generator spec (gen::canonical_spec, so "gnp:0100:0.50" and
+// "gnp:100:.5" share entries) or the graph file path, graph_seed, max_w,
+// the bandwidth policy, eps, max_rounds, and the run seed. Anything that
+// can change a row changes the key; bump kEngineVersion whenever engine
+// semantics change so stale caches turn into misses, never wrong answers.
+//
+// On-disk layout: <dir>/<hh>/<hex28>.rr, two-level fan-out on the first
+// two hex digits. Entries are written to a unique temp file and renamed
+// into place, so readers never observe a partial entry and concurrent
+// fills of the same key are safe (last rename wins; the content is
+// identical by construction). Every entry carries magic, format + engine
+// versions, the full key, and a trailing checksum; lookup() treats any
+// mismatch — corruption, truncation, foreign file, stale version — as a
+// miss, so the worst failure mode is recomputation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/batch_server.hpp"
+#include "service/job_spec.hpp"
+#include "support/fingerprint.hpp"
+
+namespace distapx::service {
+
+/// Bump when the engine or any algorithm changes behavior: old entries
+/// must stop hitting. (Independent of the file-format version inside
+/// result_cache.cpp, which only guards deserialization.)
+inline constexpr std::uint32_t kEngineVersion = 3;
+
+/// Accumulator over everything a RunRow depends on *except* the run seed:
+/// engine version, algorithm, canonical workload source, gseed, maxw,
+/// policy, eps, rounds. Per-job constant — compute it once (resolve_job
+/// stores it on the ResolvedJob) and derive per-seed keys from it. Throws
+/// gen::SpecError on an invalid generator spec.
+Fingerprinter job_fingerprinter(const JobSpec& spec);
+
+/// job_fingerprinter(spec) + the run seed: the full cache key.
+Fingerprint run_fingerprint(const JobSpec& spec, std::uint64_t seed);
+
+/// The same key from a precomputed per-job prefix (the hot-path form:
+/// absorbing one seed word instead of re-canonicalizing the spec).
+Fingerprint run_fingerprint(Fingerprinter job_prefix, std::uint64_t seed);
+
+/// Counters since construction / reset_stats(). `rejected` counts entries
+/// that existed but failed validation (corrupt, truncated, version
+/// mismatch) and were treated as misses.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t rejected = 0;
+};
+
+class ResultCache {
+ public:
+  /// Creates `dir` (and fan-out subdirectories lazily). Throws JobError if
+  /// the directory cannot be created.
+  explicit ResultCache(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Returns the cached row, or nullopt on miss / invalid entry. Safe to
+  /// call concurrently with lookups and stores from other threads and
+  /// processes.
+  std::optional<RunRow> lookup(const Fingerprint& key);
+
+  /// Persists a row under `key` (atomic write-then-rename). Concurrent
+  /// stores of the same key are safe.
+  void store(const Fingerprint& key, const RunRow& row);
+
+  [[nodiscard]] CacheStats stats() const noexcept;
+  void reset_stats() noexcept;
+
+  /// The entry path a key maps to (exposed for tests that corrupt it).
+  [[nodiscard]] std::string entry_path(const Fingerprint& key) const;
+
+ private:
+  std::string dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> temp_counter_{0};
+};
+
+}  // namespace distapx::service

@@ -1,0 +1,89 @@
+#include "support/fingerprint.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace distapx {
+
+namespace {
+
+/// SplitMix64 finalizer: an invertible 64-bit mix with full avalanche.
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    s[15 - i] = digits[(hi >> (4 * i)) & 0xf];
+    s[31 - i] = digits[(lo >> (4 * i)) & 0xf];
+  }
+  return s;
+}
+
+Fingerprinter& Fingerprinter::add_u64(std::uint64_t v) noexcept {
+  // Lane-distinct round constants keep (hi, lo) from collapsing into one
+  // 64-bit state; the golden-ratio increment breaks fixed points at 0.
+  hi_ = mix(hi_ ^ (v + 0x9e3779b97f4a7c15ULL));
+  lo_ = mix(lo_ ^ (v + 0xd1b54a32d192ed03ULL));
+  ++words_;
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::add_i64(std::int64_t v) noexcept {
+  return add_u64(static_cast<std::uint64_t>(v));
+}
+
+Fingerprinter& Fingerprinter::add_u32(std::uint32_t v) noexcept {
+  return add_u64(0x3200000000000000ULL | v);  // width tag
+}
+
+Fingerprinter& Fingerprinter::add_bool(bool v) noexcept {
+  return add_u64(0x0100000000000000ULL | (v ? 1 : 0));
+}
+
+Fingerprinter& Fingerprinter::add_double(double v) noexcept {
+  return add_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+Fingerprinter& Fingerprinter::add_string(std::string_view s) noexcept {
+  add_u64(0x5300000000000000ULL | s.size());  // length prefix + tag
+  std::uint64_t word = 0;
+  unsigned filled = 0;
+  for (const char c : s) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << (8 * filled);
+    if (++filled == 8) {
+      add_u64(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) add_u64(word);
+  return *this;
+}
+
+Fingerprint Fingerprinter::digest() const noexcept {
+  // Finalize a copy so the accumulator can keep absorbing afterwards.
+  Fingerprint fp;
+  const std::uint64_t h = mix(hi_ ^ mix(words_));
+  const std::uint64_t l = mix(lo_ ^ mix(words_ + 0x9e3779b97f4a7c15ULL));
+  // Cross the lanes once so neither output word depends on only half of
+  // the absorbed state.
+  fp.hi = mix(h + (l << 1));
+  fp.lo = mix(l + (h << 1));
+  return fp;
+}
+
+Fingerprint fingerprint_bytes(const void* data, std::size_t size) noexcept {
+  Fingerprinter fp;
+  fp.add_string(std::string_view(static_cast<const char*>(data), size));
+  return fp.digest();
+}
+
+}  // namespace distapx

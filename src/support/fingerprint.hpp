@@ -1,0 +1,63 @@
+// Stable 128-bit content fingerprinting.
+//
+// The result cache (service/result_cache.hpp) addresses entries by a
+// fingerprint of the run's full input description — canonical generator
+// spec, algorithm id, seed, engine version — so the hash must be a pure
+// function of the fed values: independent of platform, endianness,
+// standard library, pointer layout, and process. std::hash offers none of
+// those guarantees, so this module defines its own construction on top of
+// the SplitMix64 finalizer (support/random.hpp uses the same mix).
+//
+// The construction is two parallel 64-bit lanes, each absorbing every
+// 64-bit word through mix(state ^ word) with lane-distinct round
+// constants. Strings are length-prefixed and packed into little-endian
+// words, so "ab" + "c" and "a" + "bc" fingerprint differently. This is a
+// non-cryptographic hash: collisions are astronomically unlikely for the
+// cache's workload (< 2^-64 per pair), but nothing here resists an
+// adversary crafting inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace distapx {
+
+/// A 128-bit digest, comparable and hex-printable.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 lowercase hex digits, hi word first ("00ab...").
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Streaming fingerprint accumulator. Feed order matters; every add_*
+/// call, including the type tag implicit in its width handling, is part of
+/// the digested content.
+class Fingerprinter {
+ public:
+  Fingerprinter& add_u64(std::uint64_t v) noexcept;
+  Fingerprinter& add_i64(std::int64_t v) noexcept;
+  Fingerprinter& add_u32(std::uint32_t v) noexcept;
+  Fingerprinter& add_bool(bool v) noexcept;
+  /// Bit pattern of the double (so 0.25 and 0.250000001 differ, and the
+  /// digest never depends on decimal formatting).
+  Fingerprinter& add_double(double v) noexcept;
+  /// Length-prefixed; bytes packed little-endian into 64-bit words.
+  Fingerprinter& add_string(std::string_view s) noexcept;
+
+  [[nodiscard]] Fingerprint digest() const noexcept;
+
+ private:
+  std::uint64_t hi_ = 0x6a09e667f3bcc908ULL;  // sqrt(2), sqrt(3) fractions
+  std::uint64_t lo_ = 0xbb67ae8584caa73bULL;
+  std::uint64_t words_ = 0;  ///< absorbed word count, folded into digest()
+};
+
+/// One-shot convenience for raw bytes.
+Fingerprint fingerprint_bytes(const void* data, std::size_t size) noexcept;
+
+}  // namespace distapx

@@ -129,6 +129,93 @@ TEST(JobFile, ErrorsCarryLineNumbers) {
   }
 }
 
+// ---- negative paths: the exact line number AND message ---------------------
+//
+// The daemon quarantines a malformed job file with this diagnostic and
+// nothing else; operators fix spool files from the message alone, so the
+// line number and the wording are contract, not decoration.
+
+std::string job_file_error(const std::string& content) {
+  std::istringstream is(content);
+  try {
+    service::parse_job_file(is);
+  } catch (const service::JobError& e) {
+    return e.what();
+  }
+  return "<no JobError thrown>";
+}
+
+TEST(JobFileNegativePaths, ExactLineNumberAndMessage) {
+  // (file content, exact diagnostic) pairs. Comments and blank lines
+  // deliberately offset the failing line to pin down the numbering.
+  const struct {
+    const char* content;
+    const char* expected;
+  } cases[] = {
+      {"gen=path:10 algo=luby\nalgo=luby\n",
+       "line 2: exactly one of gen= / file= is required"},
+      {"\n# header comment\ngen=path:10\n",
+       "line 3: missing required key algo="},
+      {"gen=path:10 algo=luby seeds=0\n",
+       "line 1: seeds=0 requests zero runs"},
+      {"gen=path:10 algo=luby\ngen=path:10 algo=luby seeds=1:zz\n",
+       "line 2: seeds=zz is not an integer in [0, 16777216]"},
+      {"gen=path:10 algo=nope\n", "line 1: unknown algorithm \"nope\""},
+      {"# comment\ngen=path:10 algo=luby policy\n",
+       "line 2: token \"policy\" is not key=value"},
+      {"gen=path:10 algo=luby eps=\n",
+       "line 1: empty value for key \"eps\""},
+      {"gen=path:10 algo=luby eps=-0.5\n", "line 1: eps must be positive"},
+      {"gen=path:10 algo=luby maxw=0\n", "line 1: maxw must be positive"},
+      {"gen=path:10 algo=luby frobs=3\n",
+       "line 1: unknown key \"frobs\""},
+      {"gen=path:10 algo=luby gseed=12x\n",
+       "line 1: gseed=12x is not an integer in [0, 18446744073709551615]"},
+      {"gen=path:10 algo=luby policy=congest:0\n",
+       "line 1: policy=congest:0 has a zero multiplier"},
+      {"gen=path:10 algo=luby policy=quantum\n",
+       "line 1: policy=quantum (want congest[:MULT] or local)"},
+      {"gen=path:10 file=x.graph algo=luby\n",
+       "line 1: exactly one of gen= / file= is required"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(job_file_error(c.content), c.expected) << c.content;
+  }
+}
+
+TEST(JobFileNegativePaths, BadSeedRanges) {
+  // Seed-range values out of the documented [0, 2^24] count window.
+  EXPECT_EQ(job_file_error("gen=path:10 algo=luby seeds=99999999\n"),
+            "line 1: seeds=99999999 is not an integer in [0, 16777216]");
+  EXPECT_EQ(job_file_error("gen=path:10 algo=luby seeds=1:99999999\n"),
+            "line 1: seeds=99999999 is not an integer in [0, 16777216]");
+  EXPECT_EQ(job_file_error("gen=path:10 algo=luby seeds=-3:4\n"),
+            "line 1: seeds=-3 is not an integer in [0, "
+            "18446744073709551615]");
+}
+
+TEST(JobFileNegativePaths, EmbeddedGenSpecErrorsKeepLineAndSpecContext) {
+  // A bad generator spec inside a job line surfaces the SpecError text
+  // (family, parameter index, offending token) behind the line number.
+  const std::string unknown = job_file_error(
+      "gen=path:10 algo=luby\ngen=torus:5:5 algo=luby\n");
+  EXPECT_NE(unknown.find("line 2: bad generator spec \"torus:5:5\""),
+            std::string::npos)
+      << unknown;
+  EXPECT_NE(unknown.find("unknown family \"torus\""), std::string::npos);
+
+  const std::string bad_param =
+      job_file_error("gen=path:ten algo=luby\n");
+  EXPECT_EQ(bad_param,
+            "line 1: bad generator spec \"path:ten\": parameter 1 "
+            "(\"ten\") is not an integer in [0, 268435456]");
+
+  const std::string bad_arity = job_file_error("gen=gnp:100 algo=luby\n");
+  EXPECT_EQ(bad_arity,
+            "line 1: bad generator spec \"gnp:100\": family gnp takes 2 "
+            "parameter(s) (gnp:N:P), got 1");
+}
+
 TEST(BatchServer, BitIdenticalAcrossThreadCounts) {
   const auto base = serve_mixed(1);
   ASSERT_EQ(base.jobs.size(), 4u);

@@ -1,0 +1,216 @@
+// The spool-watching service daemon (service/daemon.hpp).
+//
+// Contract under test: a spooled job file produces byte-identical results
+// to a direct BatchServer run of the same specs; malformed files are
+// quarantined with their line-numbered JobError while the daemon keeps
+// serving; and the spool protocol (".job" suffix claim, stop sentinel,
+// max_files) behaves as documented.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "service/batch_server.hpp"
+#include "service/daemon.hpp"
+#include "service/job_spec.hpp"
+#include "test_helpers.hpp"
+
+namespace distapx {
+namespace {
+
+namespace fs = std::filesystem;
+using test::ScopedTempDir;
+
+const char* kGoodJobs =
+    "gen=gnp:60:0.08  algo=luby     seeds=1:4 name=gnp-luby\n"
+    "gen=grid:6:6     algo=mcm-2eps seeds=1:3 eps=0.3 name=grid-mcm\n"
+    "gen=tree:50      algo=mwm-lr   seeds=2:3 maxw=32 name=tree-mwm\n";
+
+void spool_file(const fs::path& spool, const std::string& name,
+                const std::string& content) {
+  // The documented producer protocol: write a temp name, rename to *.job.
+  const fs::path tmp = spool / (name + ".tmp");
+  {
+    std::ofstream os(tmp);
+    os << content;
+  }
+  fs::rename(tmp, spool / (name + ".job"));
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+service::DaemonOptions opts_for(const ScopedTempDir& spool,
+                                const std::string& cache_dir = "") {
+  service::DaemonOptions o;
+  o.spool_dir = spool.str();
+  o.cache_dir = cache_dir;
+  o.threads = 2;
+  o.poll_ms = 10;
+  return o;
+}
+
+TEST(Daemon, SpooledJobFileMatchesDirectBatchServerByteForByte) {
+  const ScopedTempDir spool("distapx-spool-direct");
+  service::Daemon daemon(opts_for(spool));
+  spool_file(spool.path, "sweep", kGoodJobs);
+
+  const auto reports = daemon.drain_once();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok);
+  EXPECT_EQ(reports[0].name, "sweep");
+  EXPECT_EQ(reports[0].runs, 10u);
+  EXPECT_EQ(reports[0].computed, 10u);  // no cache configured
+
+  // The same specs served directly, at a different thread count.
+  std::istringstream is(kGoodJobs);
+  service::BatchServer server({5});
+  server.submit_all(service::parse_job_file(is));
+  const auto direct = server.serve();
+
+  std::ostringstream runs_csv, summary_csv;
+  service::runs_table(direct).write_csv(runs_csv);
+  service::summary_table(direct).write_csv(summary_csv);
+  const fs::path done = spool.path / "done";
+  EXPECT_EQ(slurp(done / "sweep.runs.csv"), runs_csv.str());
+  EXPECT_EQ(slurp(done / "sweep.summary.csv"), summary_csv.str());
+
+  // The job file moved into done/ (audit trail), the spool is empty.
+  EXPECT_TRUE(fs::exists(done / "sweep.job"));
+  EXPECT_FALSE(fs::exists(spool.path / "sweep.job"));
+  const std::string report = slurp(done / "sweep.report.txt");
+  EXPECT_NE(report.find("runs 10"), std::string::npos) << report;
+  EXPECT_NE(report.find("served_from_cache 0"), std::string::npos);
+  EXPECT_NE(report.find("computed 10"), std::string::npos);
+}
+
+TEST(Daemon, MalformedFileIsQuarantinedAndServingContinues) {
+  const ScopedTempDir spool("distapx-spool-quarantine");
+  service::Daemon daemon(opts_for(spool));
+  // Line 3 carries the error (line 2 is a comment).
+  spool_file(spool.path, "a-bad",
+             "gen=path:10 algo=luby\n"
+             "# fine so far\n"
+             "gen=path:10 algo=frobnicate\n");
+  spool_file(spool.path, "b-good", kGoodJobs);
+
+  const auto reports = daemon.drain_once();
+  ASSERT_EQ(reports.size(), 2u);  // lexicographic: a-bad then b-good
+
+  EXPECT_FALSE(reports[0].ok);
+  EXPECT_EQ(reports[0].name, "a-bad");
+  EXPECT_NE(reports[0].error.find("line 3"), std::string::npos)
+      << reports[0].error;
+  EXPECT_NE(reports[0].error.find("unknown algorithm \"frobnicate\""),
+            std::string::npos)
+      << reports[0].error;
+
+  // Quarantined: file + line-numbered diagnostic in failed/, nothing in
+  // done/, and the good file was still served.
+  EXPECT_TRUE(fs::exists(spool.path / "failed" / "a-bad.job"));
+  const std::string err = slurp(spool.path / "failed" / "a-bad.error");
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  EXPECT_FALSE(fs::exists(spool.path / "done" / "a-bad.runs.csv"));
+
+  EXPECT_TRUE(reports[1].ok);
+  EXPECT_EQ(reports[1].runs, 10u);
+  EXPECT_TRUE(fs::exists(spool.path / "done" / "b-good.runs.csv"));
+}
+
+TEST(Daemon, WarmCacheServesRepeatedFilesWithoutRecomputing) {
+  const ScopedTempDir spool("distapx-spool-warm");
+  const ScopedTempDir cache("distapx-spool-warm-cache");
+  service::Daemon daemon(opts_for(spool, cache.str()));
+
+  spool_file(spool.path, "cold", kGoodJobs);
+  auto reports = daemon.drain_once();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].cache_hits, 0u);
+  EXPECT_EQ(reports[0].computed, 10u);
+
+  // The same workload under a different file name: all hits, same bytes.
+  spool_file(spool.path, "warm", kGoodJobs);
+  reports = daemon.drain_once();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok);
+  EXPECT_EQ(reports[0].cache_hits, 10u);
+  EXPECT_EQ(reports[0].computed, 0u);
+  EXPECT_DOUBLE_EQ(reports[0].hit_rate(), 1.0);
+
+  const fs::path done = spool.path / "done";
+  EXPECT_EQ(slurp(done / "warm.runs.csv"), slurp(done / "cold.runs.csv"));
+  EXPECT_EQ(slurp(done / "warm.summary.csv"),
+            slurp(done / "cold.summary.csv"));
+}
+
+TEST(Daemon, OnlyJobSuffixedFilesAreClaimed) {
+  const ScopedTempDir spool("distapx-spool-suffix");
+  service::Daemon daemon(opts_for(spool));
+  {
+    std::ofstream os(spool.path / "half-written.tmp");
+    os << kGoodJobs;
+  }
+  {
+    std::ofstream os(spool.path / "notes.txt");
+    os << "not a job\n";
+  }
+  EXPECT_TRUE(daemon.drain_once().empty());
+  EXPECT_TRUE(fs::exists(spool.path / "half-written.tmp"));  // untouched
+}
+
+TEST(Daemon, StopSentinelEndsRunAndIsConsumed) {
+  const ScopedTempDir spool("distapx-spool-stop");
+  service::Daemon daemon(opts_for(spool));
+  {
+    std::ofstream os(spool.path / "stop");
+  }
+  const auto reports = daemon.run();  // must return, not loop forever
+  EXPECT_TRUE(reports.empty());
+  EXPECT_FALSE(fs::exists(spool.path / "stop"));  // consumed
+}
+
+TEST(Daemon, RequestStopUnblocksRunFromAnotherThread) {
+  const ScopedTempDir spool("distapx-spool-reqstop");
+  service::Daemon daemon(opts_for(spool));
+  std::thread runner([&] { (void)daemon.run(); });
+  daemon.request_stop();
+  runner.join();  // hangs forever if request_stop is broken
+  EXPECT_TRUE(daemon.stop_requested());
+}
+
+TEST(Daemon, MaxFilesBoundsTheRun) {
+  const ScopedTempDir spool("distapx-spool-maxfiles");
+  auto opts = opts_for(spool);
+  opts.max_files = 1;
+  service::Daemon daemon(opts);
+  spool_file(spool.path, "first", "gen=path:20 algo=luby seeds=1:2\n");
+  spool_file(spool.path, "second", "gen=path:20 algo=luby seeds=1:2\n");
+
+  const auto reports = daemon.run();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].name, "first");             // lexicographic claim
+  EXPECT_TRUE(fs::exists(spool.path / "second.job"));  // left for later
+}
+
+TEST(Daemon, EmptyJobFileIsQuarantinedNotLooped) {
+  const ScopedTempDir spool("distapx-spool-empty");
+  service::Daemon daemon(opts_for(spool));
+  spool_file(spool.path, "empty", "# only a comment\n");
+  const auto reports = daemon.drain_once();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].ok);
+  EXPECT_NE(reports[0].error.find("no jobs"), std::string::npos);
+  EXPECT_TRUE(fs::exists(spool.path / "failed" / "empty.job"));
+  // A second drain finds nothing: the file must not wedge the spool.
+  EXPECT_TRUE(daemon.drain_once().empty());
+}
+
+}  // namespace
+}  // namespace distapx

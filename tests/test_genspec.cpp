@@ -153,5 +153,84 @@ TEST(GenSpec, ErrorMessagesNameTheSpec) {
   }
 }
 
+// ---- negative paths: exact diagnostics -------------------------------------
+//
+// The batch server and the daemon forward these messages verbatim (behind
+// a job-file line number), so their wording is part of the operator
+// contract: the spec, the 1-based parameter index, and the offending
+// token must all be present, exactly.
+
+std::string spec_error(const std::string& spec) {
+  try {
+    gen::parse_spec(spec);
+  } catch (const gen::SpecError& e) {
+    return e.what();
+  }
+  return "<no SpecError thrown>";
+}
+
+TEST(GenSpecNegativePaths, ExactMessages) {
+  EXPECT_EQ(spec_error("gnp:100"),
+            "bad generator spec \"gnp:100\": family gnp takes 2 "
+            "parameter(s) (gnp:N:P), got 1");
+  EXPECT_EQ(spec_error("path:ten"),
+            "bad generator spec \"path:ten\": parameter 1 (\"ten\") is "
+            "not an integer in [0, 268435456]");
+  EXPECT_EQ(spec_error("gnp:100:zero"),
+            "bad generator spec \"gnp:100:zero\": parameter 2 (\"zero\") "
+            "is not a finite number");
+  EXPECT_EQ(spec_error("gnp:100:1.5"),
+            "bad generator spec \"gnp:100:1.5\": probability parameter 2 "
+            "must be in [0, 1]");
+  EXPECT_EQ(spec_error(""), "bad generator spec \"\": empty family name");
+  EXPECT_EQ(spec_error("hypercube:40"),
+            "bad generator spec \"hypercube:40\": parameter 1 (\"40\") is "
+            "not an integer in [0, 27]");
+
+  const std::string unknown = spec_error("torus:5:5");
+  EXPECT_NE(unknown.find("bad generator spec \"torus:5:5\": unknown "
+                         "family \"torus\" (known: "),
+            std::string::npos)
+      << unknown;
+}
+
+// ---- canonicalization (the result-cache key form) --------------------------
+
+TEST(GenSpecCanonical, NormalizesNumericSpellings) {
+  EXPECT_EQ(gen::canonical_spec("gnp:100:0.05"), "gnp:100:0.05");
+  EXPECT_EQ(gen::canonical_spec("gnp:0100:0.050"), "gnp:100:0.05");
+  EXPECT_EQ(gen::canonical_spec("gnp:100:.05"), "gnp:100:0.05");
+  EXPECT_EQ(gen::canonical_spec("gnp:100:5e-2"), "gnp:100:0.05");
+  EXPECT_EQ(gen::canonical_spec("grid:007:08"), "grid:7:8");
+  EXPECT_EQ(gen::canonical_spec("powerlaw:100:2.50:4"),
+            "powerlaw:100:2.5:4");
+  // Already-canonical specs are fixed points.
+  for (const auto& [family, spec] : sample_specs()) {
+    EXPECT_EQ(gen::canonical_spec(spec), spec) << family;
+  }
+}
+
+TEST(GenSpecCanonical, DistinctWorkloadsStayDistinct) {
+  EXPECT_NE(gen::canonical_spec("gnp:100:0.05"),
+            gen::canonical_spec("gnp:100:0.06"));
+  EXPECT_NE(gen::canonical_spec("grid:6:8"), gen::canonical_spec("grid:8:6"));
+}
+
+TEST(GenSpecCanonical, CanonicalFormDescribesTheSameGraph) {
+  for (const auto& [family, spec] : sample_specs()) {
+    Rng a(11), b(11);
+    const Graph ga = gen::from_spec(spec, a);
+    const Graph gb = gen::from_spec(gen::canonical_spec(spec), b);
+    EXPECT_EQ(ga.num_nodes(), gb.num_nodes()) << family;
+    EXPECT_EQ(ga.num_edges(), gb.num_edges()) << family;
+  }
+}
+
+TEST(GenSpecCanonical, InvalidSpecsStillThrow) {
+  EXPECT_THROW(gen::canonical_spec("torus:5:5"), gen::SpecError);
+  EXPECT_THROW(gen::canonical_spec("gnp:100"), gen::SpecError);
+  EXPECT_THROW(gen::canonical_spec("path:ten"), gen::SpecError);
+}
+
 }  // namespace
 }  // namespace distapx

@@ -1,6 +1,10 @@
 // Shared fixtures and generators for the distapx test suite.
 #pragma once
 
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -9,6 +13,33 @@
 #include "support/random.hpp"
 
 namespace distapx::test {
+
+/// A fresh unique directory under gtest's TempDir, removed on
+/// destruction. Used by the result-cache and daemon suites.
+struct ScopedTempDir {
+  std::filesystem::path path;
+
+  explicit ScopedTempDir(const std::string& tag)
+      : path(std::filesystem::path(::testing::TempDir()) /
+             (tag + "-" + std::to_string(::getpid()) + "-" +
+              std::to_string(counter()++))) {
+    std::filesystem::remove_all(path);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  [[nodiscard]] std::string str() const { return path.string(); }
+
+ private:
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
 
 /// A named small graph family instance for parameterized suites.
 struct FamilyCase {

@@ -11,9 +11,15 @@
 #include "graph/algos.hpp"
 #include "graph/generators.hpp"
 #include "matching/blossom.hpp"
+#include "matching/exact_mwm.hpp"
+#include "matching/hopcroft_karp.hpp"
 #include "matching/lr_matching.hpp"
+#include "matching/mcm_congest.hpp"
 #include "matching/nmm_2eps.hpp"
+#include "matching/weighted_2eps.hpp"
 #include "maxis/coloring_maxis.hpp"
+#include "maxis/exact.hpp"
+#include "maxis/greedy_maxis.hpp"
 #include "maxis/layered_maxis.hpp"
 #include "maxis/local_ratio_seq.hpp"
 #include "mis/mis.hpp"
@@ -193,6 +199,180 @@ INSTANTIATE_TEST_SUITE_P(
                           Family::kGrid, Family::kStar,
                           Family::kMultipartite),
         ::testing::Values(WeightRegime::kUnit, WeightRegime::kUniform)));
+
+// ---- approximation-ratio conformance sweeps --------------------------------
+//
+// The sweeps above check structural validity (matchings are matchings, IS
+// are independent) plus loose cardinality floors; these check the paper's
+// *quantitative* guarantees against exact optima on random small-graph
+// sweeps: w(weighted_2eps) >= OPT_MWM/(2+ε) (App B.1, Thm 3.2 extension),
+// |mcm_congest| >= |Hopcroft-Karp MCM|/(1+ε) (Thm B.12), and the Δ-bound
+// of Theorems 2.1/2.3 for the layered and greedy MaxIS algorithms.
+
+enum class BipFamily { kBipGnp, kGrid, kTree, kPath, kCompleteBip };
+
+/// All bipartite, so Hopcroft-Karp / exact_mwm_bipartite are exact.
+Graph make_bipartite_family(BipFamily f, Rng& rng) {
+  switch (f) {
+    case BipFamily::kBipGnp:
+      return gen::bipartite_gnp(26, 26, 0.15, rng);
+    case BipFamily::kGrid:
+      return gen::grid(6, 8);
+    case BipFamily::kTree:
+      return gen::random_tree(56, rng);
+    case BipFamily::kPath:
+      return gen::path(40);
+    case BipFamily::kCompleteBip:
+      return gen::complete_bipartite(7, 9);
+  }
+  return gen::path(8);
+}
+
+const char* bip_family_name(BipFamily f) {
+  switch (f) {
+    case BipFamily::kBipGnp:
+      return "bip_gnp";
+    case BipFamily::kGrid:
+      return "grid";
+    case BipFamily::kTree:
+      return "tree";
+    case BipFamily::kPath:
+      return "path";
+    case BipFamily::kCompleteBip:
+      return "cbipartite";
+  }
+  return "?";
+}
+
+using ConformanceParam = std::tuple<BipFamily, int>;  // (family, seed)
+
+class WeightedMatchingConformance
+    : public ::testing::TestWithParam<ConformanceParam> {};
+
+TEST_P(WeightedMatchingConformance, Weighted2EpsWithinRatioOfExactMwm) {
+  const auto [family, seed] = GetParam();
+  Rng rng(hash_combine(static_cast<int>(family) * 31, seed));
+  const Graph g = make_bipartite_family(family, rng);
+  ASSERT_GT(g.num_edges(), 0u);
+  const EdgeWeights ew = gen::uniform_edge_weights(g.num_edges(), 500, rng);
+
+  Weighted2EpsParams params;
+  params.epsilon = 0.25;
+  const auto res = run_weighted_2eps_matching(
+      g, ew, static_cast<std::uint64_t>(seed), params);
+  ASSERT_TRUE(is_matching(g, res.matching)) << bip_family_name(family);
+
+  const Weight opt = matching_weight(ew, exact_mwm_bipartite(g, ew).matching);
+  const Weight got = matching_weight(ew, res.matching);
+  ASSERT_GT(opt, 0) << bip_family_name(family);
+  EXPECT_GE(static_cast<double>(got) * (2.0 + params.epsilon),
+            static_cast<double>(opt))
+      << bip_family_name(family) << " seed " << seed << ": " << got
+      << " * (2+eps) < " << opt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cross, WeightedMatchingConformance,
+    ::testing::Combine(
+        ::testing::Values(BipFamily::kBipGnp, BipFamily::kGrid,
+                          BipFamily::kTree, BipFamily::kPath,
+                          BipFamily::kCompleteBip),
+        ::testing::Values(1, 2, 3)));
+
+class McmConformance : public ::testing::TestWithParam<ConformanceParam> {};
+
+TEST_P(McmConformance, OnePlusEpsWithinRatioOfHopcroftKarp) {
+  const auto [family, seed] = GetParam();
+  Rng rng(hash_combine(static_cast<int>(family) * 37, seed));
+  const Graph g = make_bipartite_family(family, rng);
+  ASSERT_GT(g.num_edges(), 0u);
+
+  McmCongestParams params;
+  params.epsilon = 1.0 / 3.0;
+  const auto res =
+      run_mcm_1eps_congest(g, static_cast<std::uint64_t>(seed), params);
+  ASSERT_TRUE(is_matching(g, res.matching)) << bip_family_name(family);
+
+  const std::size_t opt = hopcroft_karp(g).matching.size();
+  EXPECT_GE(static_cast<double>(res.matching.size()) *
+                (1.0 + params.epsilon),
+            static_cast<double>(opt))
+      << bip_family_name(family) << " seed " << seed << ": "
+      << res.matching.size() << " * (1+eps) < " << opt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cross, McmConformance,
+    ::testing::Combine(
+        ::testing::Values(BipFamily::kBipGnp, BipFamily::kGrid,
+                          BipFamily::kTree, BipFamily::kPath,
+                          BipFamily::kCompleteBip),
+        ::testing::Values(1, 2, 3)));
+
+/// Small families (n <= 64) where exact_maxis's branch & bound is cheap.
+enum class SmallFamily { kGnp, kTree, kGrid, kRegular, kCycle, kStar };
+
+Graph make_small_family(SmallFamily f, Rng& rng) {
+  switch (f) {
+    case SmallFamily::kGnp:
+      return gen::gnp(40, 0.1, rng);
+    case SmallFamily::kTree:
+      return gen::random_tree(48, rng);
+    case SmallFamily::kGrid:
+      return gen::grid(6, 8);
+    case SmallFamily::kRegular:
+      return gen::random_regular(48, 4, rng);
+    case SmallFamily::kCycle:
+      return gen::cycle(45);
+    case SmallFamily::kStar:
+      return gen::star(30);
+  }
+  return gen::path(8);
+}
+
+using MaxIsConformanceParam = std::tuple<SmallFamily, WeightRegime>;
+
+class MaxIsConformance
+    : public ::testing::TestWithParam<MaxIsConformanceParam> {};
+
+TEST_P(MaxIsConformance, LayeredAndGreedyWithinDeltaOfExact) {
+  const auto [family, regime] = GetParam();
+  Rng rng(hash_combine(static_cast<int>(family) * 41,
+                       static_cast<int>(regime)));
+  const Graph g = make_small_family(family, rng);
+  ASSERT_LE(g.num_nodes(), 64u);
+  const auto w = make_weights(regime, g.num_nodes(), rng);
+  const Weight opt = set_weight(w, exact_maxis(g, w).independent_set);
+  const Weight delta = std::max<std::uint32_t>(g.max_degree(), 1);
+
+  // Algorithm 2 (Thm 2.3): Δ-approximation, any seed.
+  const auto layered = run_layered_maxis(g, w, 7);
+  ASSERT_TRUE(is_independent_set(g, layered.independent_set));
+  const Weight w_layered = set_weight(w, layered.independent_set);
+  EXPECT_GE(w_layered * delta, opt)
+      << "layered: " << w_layered << " * " << delta << " < " << opt;
+
+  // The sequential weight-greedy baseline carries the same Δ bound.
+  const auto greedy = greedy_maxis(g, w);
+  ASSERT_TRUE(is_independent_set(g, greedy.independent_set));
+  const Weight w_greedy = set_weight(w, greedy.independent_set);
+  EXPECT_GE(w_greedy * delta, opt)
+      << "greedy: " << w_greedy << " * " << delta << " < " << opt;
+
+  // Neither heuristic beats the optimum (sanity on exact_maxis itself).
+  EXPECT_LE(w_layered, opt);
+  EXPECT_LE(w_greedy, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cross, MaxIsConformance,
+    ::testing::Combine(
+        ::testing::Values(SmallFamily::kGnp, SmallFamily::kTree,
+                          SmallFamily::kGrid, SmallFamily::kRegular,
+                          SmallFamily::kCycle, SmallFamily::kStar),
+        ::testing::Values(WeightRegime::kUnit, WeightRegime::kUniform,
+                          WeightRegime::kLogUniform,
+                          WeightRegime::kExponential)));
 
 }  // namespace
 }  // namespace distapx

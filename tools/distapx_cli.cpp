@@ -4,8 +4,10 @@
 //
 // Usage:
 //   distapx_cli <algorithm> [options]
-//   distapx_cli batch <jobfile> [--threads N] [--csv F] [--json F]
-//                     [--runs F] [--quiet]
+//   distapx_cli batch <jobfile> [--threads N] [--cache DIR] [--csv F]
+//                     [--json F] [--runs F] [--quiet]
+//   distapx_cli serve <spool-dir> [--cache-dir DIR] [--threads N]
+//                     [--poll-ms M] [--max-files K] [--once]
 //
 // Algorithms:
 //   luby           Luby's MIS
@@ -28,6 +30,7 @@
 //   --out FILE         write the solution (ids, one per line)
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,7 +50,9 @@
 #include "mis/ghaffari_nmis.hpp"
 #include "mis/luby.hpp"
 #include "service/batch_server.hpp"
+#include "service/daemon.hpp"
 #include "service/job_spec.hpp"
+#include "service/result_cache.hpp"
 #include "support/assert.hpp"
 #include "support/parse.hpp"
 
@@ -125,7 +130,7 @@ int run_batch(int argc, char** argv) {
   }
   const std::string job_file = argv[2];
   service::BatchOptions batch_opts;
-  std::string csv_file, json_file, runs_file;
+  std::string csv_file, json_file, runs_file, cache_dir;
   bool quiet = false;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -136,6 +141,8 @@ int run_batch(int argc, char** argv) {
     if (flag == "--threads") {
       batch_opts.threads =
           static_cast<unsigned>(flag_uint(flag, value(), 1u << 16));
+    } else if (flag == "--cache") {
+      cache_dir = value();
     } else if (flag == "--csv") {
       csv_file = value();
     } else if (flag == "--json") {
@@ -147,6 +154,16 @@ int run_batch(int argc, char** argv) {
     } else {
       usage_error("unknown batch flag " + flag);
     }
+  }
+
+  std::optional<service::ResultCache> cache;
+  if (!cache_dir.empty()) {
+    try {
+      cache.emplace(cache_dir);
+    } catch (const std::exception& e) {
+      usage_error(e.what());
+    }
+    batch_opts.cache = &*cache;
   }
 
   service::BatchServer server(batch_opts);
@@ -176,11 +193,79 @@ int run_batch(int argc, char** argv) {
     std::cout << result.total_runs << " runs over " << result.jobs.size()
               << " jobs on " << result.threads_used << " threads in "
               << Table::fmt(result.wall_seconds, 3) << "s\n";
+    if (cache) {
+      std::cout << "cache: " << result.cache_hits << " hits, "
+                << result.computed << " computed (hit rate "
+                << Table::fmt(result.total_runs == 0
+                                  ? 0.0
+                                  : static_cast<double>(result.cache_hits) /
+                                        static_cast<double>(result.total_runs),
+                              3)
+                << ") in " << cache_dir << "\n";
+    }
   }
   write_table(csv_file, summary, /*json=*/false);
   write_table(json_file, summary, /*json=*/true);
   write_table(runs_file, runs, /*json=*/false);
   return 0;
+}
+
+/// `distapx_cli serve <spool-dir>`: the long-lived spool-watching daemon.
+/// Results land in <spool>/done, quarantined files in <spool>/failed; stop
+/// it with SIGINT, `--max-files`, `--once`, or `touch <spool>/stop`.
+int run_serve(int argc, char** argv) {
+  if (argc < 3) usage_error("serve needs a spool directory");
+  service::DaemonOptions opts;
+  opts.spool_dir = argv[2];
+  bool once = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--cache-dir") {
+      opts.cache_dir = value();
+    } else if (flag == "--threads") {
+      opts.threads = static_cast<unsigned>(flag_uint(flag, value(), 1u << 16));
+    } else if (flag == "--poll-ms") {
+      opts.poll_ms = static_cast<std::uint32_t>(flag_uint(flag, value(), 1u << 24));
+    } else if (flag == "--max-files") {
+      opts.max_files = flag_uint(flag, value());
+    } else if (flag == "--once") {
+      once = true;
+    } else {
+      usage_error("unknown serve flag " + flag);
+    }
+  }
+
+  std::optional<service::Daemon> daemon;
+  try {
+    daemon.emplace(opts);
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
+  std::cout << "serving spool " << opts.spool_dir
+            << (opts.cache_dir.empty() ? std::string(" (no cache)")
+                                       : " (cache " + opts.cache_dir + ")")
+            << (once ? ", single drain\n" : "\n");
+
+  const auto reports = once ? daemon->drain_once() : daemon->run();
+  std::uint64_t failed = 0;
+  for (const auto& r : reports) {
+    if (r.ok) {
+      std::cout << r.name << ": " << r.runs << " runs, " << r.cache_hits
+                << " cached, " << r.computed << " computed (hit rate "
+                << Table::fmt(r.hit_rate(), 3) << ") in "
+                << Table::fmt(r.wall_seconds, 3) << "s\n";
+    } else {
+      ++failed;
+      std::cout << r.name << ": QUARANTINED: " << r.error << "\n";
+    }
+  }
+  std::cout << reports.size() << " job file(s) served, " << failed
+            << " quarantined\n";
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -190,14 +275,17 @@ int main(int argc, char** argv) {
     std::cout
         << "usage: distapx_cli <algorithm> [--graph FILE | --gen SPEC] "
            "[--seed S] [--eps E] [--maxw W] [--out FILE]\n"
-           "       distapx_cli batch <jobfile> [--threads N] [--csv F] "
-           "[--json F] [--runs F] [--quiet]\n"
+           "       distapx_cli batch <jobfile> [--threads N] [--cache DIR] "
+           "[--csv F] [--json F] [--runs F] [--quiet]\n"
+           "       distapx_cli serve <spool-dir> [--cache-dir DIR] "
+           "[--threads N] [--poll-ms M] [--max-files K] [--once]\n"
            "algorithms: luby nmis maxis-alg2 maxis-alg3 mwm-lr mwm-lr-det "
            "mcm-2eps mwm-2eps mcm-1eps proposal\n"
            "gen specs: " << gen::spec_usage() << "\n";
     return 0;
   }
   if (std::string(argv[1]) == "batch") return run_batch(argc, argv);
+  if (std::string(argv[1]) == "serve") return run_serve(argc, argv);
   Options opt;
   opt.algorithm = argv[1];
   for (int i = 2; i < argc; ++i) {

@@ -8,4 +8,6 @@ build_dir=${1:-"$repo_root/build"}
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)"
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
+# Every suite is labeled tier1 (CMakeLists.txt); slow/fuzz are additional
+# labels for finer selection (ctest -LE slow, ctest -L fuzz).
+ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
