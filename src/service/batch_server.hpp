@@ -117,7 +117,9 @@ struct BatchOptions {
   /// Optional result cache: hits skip execution, misses are computed and
   /// filled. Rows are bit-identical either way (the cache stores the full
   /// RunRow keyed on everything it depends on — see result_cache.hpp).
-  /// Not owned; must outlive serve().
+  /// Open the cache with a byte budget (ResultCache's second constructor
+  /// argument, the CLI's --cache-budget) to keep it LRU-bounded while
+  /// serving. Not owned; must outlive serve().
   ResultCache* cache = nullptr;
 };
 

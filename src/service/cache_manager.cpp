@@ -1,0 +1,351 @@
+#include "service/cache_manager.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "support/fsutil.hpp"
+
+namespace distapx::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.log";
+constexpr const char* kQuarantineName = "quarantine";
+
+/// Journal records tolerated per live entry before a flush compacts the
+/// manifest instead of appending — bounds manifest.log for a warm
+/// long-lived daemon whose every run is a touch.
+constexpr std::uint64_t kJournalSlack = 8;
+constexpr std::uint64_t kJournalSlop = 1024;
+
+/// True for the manager's own metadata paths, which a directory walk must
+/// not mistake for (foreign) cache content.
+bool is_metadata_path(const fs::path& p, const fs::path& quarantine) {
+  for (fs::path q = p; !q.empty() && q != q.root_path(); q = q.parent_path()) {
+    if (q == quarantine) return true;
+  }
+  const std::string name = p.filename().string();
+  return name == kManifestName || name.rfind(kManifestName, 0) == 0;
+}
+
+}  // namespace
+
+CacheManager::CacheManager(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw JobError("cannot open cache directory " + dir_ + ": " +
+                   ec.message());
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  scan_locked();
+}
+
+CacheManager::~CacheManager() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  flush_journal_locked();
+}
+
+std::string CacheManager::manifest_path() const {
+  return dir_ + "/" + kManifestName;
+}
+
+std::string CacheManager::quarantine_dir() const {
+  return dir_ + "/" + kQuarantineName;
+}
+
+void CacheManager::scan_locked() {
+  // Disk is ground truth for existence and size; the journal only adds
+  // recency. Journal-known order survives a rescan because replay assigns
+  // sequences in line order every time. (Callers flush pending appends
+  // before rescanning so no recorded access is dropped.)
+  entries_.clear();
+  live_bytes_ = 0;
+  next_access_ = 1;
+  journal_records_ = 0;
+
+  const fs::path quarantine(quarantine_dir());
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path() == quarantine) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (!it->is_regular_file(ec)) continue;
+    const auto key = key_from_entry_path(it->path().string());
+    if (!key) continue;
+    std::error_code size_ec;
+    const std::uint64_t size = it->file_size(size_ec);
+    if (size_ec) continue;
+    entries_[key->hex()] = Entry{size, 0};
+    live_bytes_ += size;
+  }
+
+  for (const ManifestRecord& rec : read_manifest(manifest_path())) {
+    ++journal_records_;
+    if (rec.fields.empty()) continue;
+    const auto it = entries_.find(rec.fields[0]);
+    if (it == entries_.end()) continue;  // journal mentions a gone entry
+    if (rec.tag == "F" || rec.tag == "T") {
+      it->second.last_access = next_access_++;
+    }
+  }
+}
+
+void CacheManager::buffer_journal_locked(ManifestRecord record) {
+  pending_journal_.push_back(std::move(record));
+  if (pending_journal_.size() >= kJournalFlushBatch) flush_journal_locked();
+}
+
+void CacheManager::flush_journal_locked() {
+  if (pending_journal_.empty()) return;
+  // Once the on-disk journal carries far more records than there are live
+  // entries, appending is wasted churn: compact instead (the in-memory
+  // map already reflects every pending record). This bounds manifest.log
+  // for a warm daemon that only ever touches.
+  if (journal_records_ + pending_journal_.size() >
+      kJournalSlack * entries_.size() + kJournalSlop) {
+    compact_manifest_locked();
+  } else if (append_manifest(manifest_path(), pending_journal_)) {
+    journal_records_ += pending_journal_.size();
+  }
+  // Advisory: records that could not be persisted (read-only dir, disk
+  // full, failed compaction) are dropped, not accumulated — LRU precision
+  // degrades, memory stays bounded, correctness is untouched.
+  pending_journal_.clear();
+}
+
+void CacheManager::record_put(const Fingerprint& key, std::uint64_t size) {
+  const std::string hex = key.hex();
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[hex];
+  live_bytes_ += size - e.size;  // same-key refill replaces, not adds
+  e.size = size;
+  e.last_access = next_access_++;
+  buffer_journal_locked({"F", {hex, std::to_string(size)}});
+}
+
+void CacheManager::record_get(const Fingerprint& key) {
+  const std::string hex = key.hex();
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(hex);
+  if (it == entries_.end()) {
+    // Filled by another process since our scan: adopt it so its recency
+    // is tracked and its bytes count against the budget.
+    std::error_code ec;
+    const std::uint64_t size =
+        fs::file_size(cache_entry_path(dir_, hex), ec);
+    if (ec) return;  // raced with an eviction; nothing to track
+    it = entries_.emplace(hex, Entry{size, 0}).first;
+    live_bytes_ += size;
+  }
+  it->second.last_access = next_access_++;
+  buffer_journal_locked({"T", {hex}});
+}
+
+std::uint64_t CacheManager::live_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return live_bytes_;
+}
+
+std::uint64_t CacheManager::live_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::pair<std::string, CacheManager::Entry>>
+CacheManager::lru_sorted_locked() const {
+  std::vector<std::pair<std::string, Entry>> flat(entries_.begin(),
+                                                  entries_.end());
+  // std::map iteration is hex-ordered, so stable_sort on last_access
+  // alone yields (last_access, hex) — deterministic eviction order.
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.last_access < b.second.last_access;
+                   });
+  return flat;
+}
+
+std::vector<CacheEntryInfo> CacheManager::entries_lru() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CacheEntryInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [hex, e] : lru_sorted_locked()) {
+    CacheEntryInfo info;
+    if (const auto key = Fingerprint::from_hex(hex)) info.key = *key;
+    info.size = e.size;
+    info.last_access = e.last_access;
+    out.push_back(info);
+  }
+  return out;
+}
+
+CacheDirStats CacheManager::stats() const {
+  CacheDirStats s;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    s.entries = entries_.size();
+    s.bytes = live_bytes_;
+  }
+  std::error_code ec;
+  const auto manifest_size = fs::file_size(manifest_path(), ec);
+  s.manifest_bytes = ec ? 0 : manifest_size;
+  ec.clear();
+  for (fs::directory_iterator it(quarantine_dir(), ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec)) ++s.quarantined;
+  }
+  return s;
+}
+
+GcReport CacheManager::gc(std::uint64_t budget_bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  GcReport report;
+
+  for (const auto& [hex, e] : lru_sorted_locked()) {
+    if (live_bytes_ <= budget_bytes) break;
+    // Atomic unlink. An entry a concurrent process already evicted is
+    // simply gone (remove() returns false with no error) — either way it
+    // stops counting against the budget. A *failing* unlink (permissions,
+    // read-only fs) keeps the entry accounted as live: the report must
+    // never claim a budget the disk does not meet.
+    std::error_code ec;
+    fs::remove(cache_entry_path(dir_, hex), ec);
+    if (ec) continue;
+    live_bytes_ -= e.size;
+    entries_.erase(hex);
+    ++report.evicted_entries;
+    report.evicted_bytes += e.size;
+  }
+  if (report.evicted_entries > 0) compact_manifest_locked();
+  report.live_entries = entries_.size();
+  report.live_bytes = live_bytes_;
+  return report;
+}
+
+void CacheManager::compact_manifest_locked() {
+  // Rewrite as one F line per survivor in access order, so a replay
+  // reconstructs the same LRU ranking from a minimal journal. Pending
+  // appends are subsumed: the in-memory map already reflects them.
+  std::vector<ManifestRecord> records;
+  records.reserve(entries_.size());
+  for (const auto& [hex, e] : lru_sorted_locked()) {
+    records.push_back({"F", {hex, std::to_string(e.size)}});
+  }
+  if (compact_manifest(manifest_path(), records)) {
+    journal_records_ = records.size();
+    pending_journal_.clear();
+  }
+}
+
+VerifyReport CacheManager::verify(RepairMode mode) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  VerifyReport report;
+  const fs::path root(dir_);
+  const fs::path quarantine(quarantine_dir());
+
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path() == quarantine) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file(ec)) files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());  // deterministic report order
+
+  for (const fs::path& p : files) {
+    if (is_metadata_path(p, quarantine)) continue;
+    const auto key = key_from_entry_path(p.string());
+    if (!key) {
+      // Not an entry (stray temp file, operator droppings): report, never
+      // touch — verify must be safe to run on any directory.
+      ++report.foreign;
+      continue;
+    }
+    ++report.checked;
+    const EntryStatus status = check_entry_file(p.string(), *key, nullptr);
+    if (status == EntryStatus::kOk) {
+      ++report.ok;
+      continue;
+    }
+    ++report.invalid;
+    VerifyFinding finding;
+    finding.path = fs::relative(p, root, ec).string();
+    if (ec) finding.path = p.string();
+    finding.status = status;
+    report.findings.push_back(std::move(finding));
+
+    const std::string hex = key->hex();
+    if (mode == RepairMode::kDelete) {
+      std::error_code rm;
+      fs::remove(p, rm);
+      if (!rm) {
+        ++report.deleted;
+        if (const auto it = entries_.find(hex); it != entries_.end()) {
+          live_bytes_ -= it->second.size;
+          entries_.erase(it);
+        }
+      }
+    } else if (mode == RepairMode::kQuarantine) {
+      std::error_code mk;
+      fs::create_directories(quarantine, mk);
+      try {
+        // Flat name inside quarantine/ (fan-out dir + stem) so two bad
+        // entries can never collide.
+        fsutil::move_file(p, quarantine / (hex + ".rr"));
+        ++report.quarantined;
+        if (const auto it = entries_.find(hex); it != entries_.end()) {
+          live_bytes_ -= it->second.size;
+          entries_.erase(it);
+        }
+      } catch (const fs::filesystem_error&) {
+        // Leave it in place; it stays in the findings list either way.
+      }
+    }
+  }
+  if (mode != RepairMode::kReport && report.invalid > 0) {
+    compact_manifest_locked();
+  }
+  return report;
+}
+
+std::uint64_t CacheManager::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t removed = 0;
+  for (const auto& [hex, e] : entries_) {
+    std::error_code ec;
+    if (fs::remove(cache_entry_path(dir_, hex), ec)) ++removed;
+  }
+  entries_.clear();
+  live_bytes_ = 0;
+  next_access_ = 1;
+  pending_journal_.clear();
+  journal_records_ = 0;
+  std::error_code ec;
+  fs::remove(manifest_path(), ec);
+  fs::remove_all(quarantine_dir(), ec);
+  // Drop now-empty fan-out directories (non-empty ones — e.g. a foreign
+  // file — survive; fs::remove refuses non-empty dirs).
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code sub;
+    if (it->is_directory(sub)) fs::remove(it->path(), sub);
+  }
+  return removed;
+}
+
+void CacheManager::rescan() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  flush_journal_locked();
+  scan_locked();
+}
+
+}  // namespace distapx::service

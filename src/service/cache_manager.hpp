@@ -1,0 +1,192 @@
+// Cache lifecycle management: size accounting, LRU eviction under a byte
+// budget, and scan/verify/repair for result-cache directories.
+//
+// PR 3's ResultCache can only grow; this layer makes a cache directory a
+// managed resource. A CacheManager tracks per-entry metadata — size, a
+// logical last-access sequence, the key fingerprint recovered from the
+// entry path — in memory, seeded by one directory scan at open and kept
+// current by record_put/record_get. The same events are appended to an
+// on-disk manifest (<dir>/manifest.log, support/manifest.hpp): an
+// append-only touch journal that survives process restarts, so LRU order
+// carries across runs and across processes sharing the directory.
+//
+// Safety model — everything here is *advisory* except the deletes:
+//   - Entries are immutable, checksummed, recomputable files published by
+//     temp + rename. Evicting any entry is always safe: the worst outcome
+//     is a future miss and recompute. So approximate accounting (a
+//     concurrent process filling or evicting behind our back) can never
+//     corrupt results, only make eviction less precise; rescan() re-syncs
+//     with the directory when precision matters.
+//   - Eviction unlinks atomically and tolerates entries already deleted
+//     by a concurrent manager (fs::remove on a missing file is a no-op
+//     here, not an error).
+//   - A torn manifest line (concurrent appenders, crash) is skipped on
+//     replay; entries absent from the manifest rank least-recent with a
+//     deterministic hex tie-break. gc() compacts the manifest atomically.
+//
+// verify() walks the directory (ground truth, not the in-memory map) and
+// validates every entry file with the exact machinery lookup() uses
+// (check_entry_file: length/magic/format/engine/key-echo/checksum), so
+// anything lookup would reject, verify detects — and can quarantine into
+// <dir>/quarantine/ or delete. distapx_cli's `cache` subcommand fronts
+// all of this for operators.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/result_cache.hpp"
+#include "support/fingerprint.hpp"
+#include "support/manifest.hpp"
+
+namespace distapx::service {
+
+/// One live entry's metadata, as tracked by the manager.
+struct CacheEntryInfo {
+  Fingerprint key;
+  std::uint64_t size = 0;
+  /// Logical last-access sequence: higher = more recently used. 0 for
+  /// entries never seen in the journal (they evict first).
+  std::uint64_t last_access = 0;
+};
+
+/// Directory-level accounting for `cache stats`.
+struct CacheDirStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;          ///< sum of live entry sizes
+  std::uint64_t manifest_bytes = 0; ///< journal size on disk
+  std::uint64_t quarantined = 0;    ///< files under <dir>/quarantine/
+};
+
+/// Outcome of one gc() pass.
+struct GcReport {
+  std::uint64_t evicted_entries = 0;
+  std::uint64_t evicted_bytes = 0;
+  std::uint64_t live_entries = 0;
+  std::uint64_t live_bytes = 0;
+};
+
+/// What verify() should do with an invalid entry.
+enum class RepairMode {
+  kReport,      ///< count and list only
+  kQuarantine,  ///< move into <dir>/quarantine/ (default repair)
+  kDelete,      ///< unlink
+};
+
+/// One invalid entry found by verify().
+struct VerifyFinding {
+  std::string path;    ///< relative to the cache dir
+  EntryStatus status = EntryStatus::kOk;
+};
+
+/// Outcome of one verify() walk.
+struct VerifyReport {
+  std::uint64_t checked = 0;      ///< entry files examined
+  std::uint64_t ok = 0;
+  std::uint64_t invalid = 0;      ///< failed validation
+  std::uint64_t quarantined = 0;  ///< moved to quarantine/
+  std::uint64_t deleted = 0;      ///< unlinked
+  std::uint64_t foreign = 0;      ///< non-entry files left untouched
+  std::vector<VerifyFinding> findings;  ///< the invalid entries
+};
+
+class CacheManager {
+ public:
+  /// Scans `dir` for entries and replays the manifest to recover LRU
+  /// order. The directory is created if absent (so `cache stats` on a
+  /// fresh path works); throws JobError when it cannot be.
+  explicit CacheManager(std::string dir);
+
+  /// Flushes buffered journal appends.
+  ~CacheManager();
+
+  CacheManager(const CacheManager&) = delete;
+  CacheManager& operator=(const CacheManager&) = delete;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string manifest_path() const;
+  [[nodiscard]] std::string quarantine_dir() const;
+
+  /// Records a fill: updates the in-memory map and buffers an `F` journal
+  /// line. Thread-safe; journal writes are batched (flushed every
+  /// kJournalFlushBatch records, on compaction, and at destruction) so
+  /// the per-record cost under the lock is an in-memory push, and the
+  /// journal is compacted once it outgrows the live-entry count — a warm
+  /// long-lived daemon's manifest stays bounded. Append failures are
+  /// swallowed (advisory metadata).
+  void record_put(const Fingerprint& key, std::uint64_t size);
+
+  /// Records a hit (touch): bumps the entry's access sequence and buffers
+  /// a `T` line (same batching as record_put). An entry this manager has
+  /// never seen (filled by another process) is adopted by stat-ing the
+  /// file.
+  void record_get(const Fingerprint& key);
+
+  [[nodiscard]] std::uint64_t live_bytes() const;
+  [[nodiscard]] std::uint64_t live_entries() const;
+
+  /// Live entries in eviction order (least recently used first; ties by
+  /// key hex, so the order is deterministic).
+  [[nodiscard]] std::vector<CacheEntryInfo> entries_lru() const;
+
+  [[nodiscard]] CacheDirStats stats() const;
+
+  /// Evicts least-recently-used entries until live_bytes() <= budget.
+  /// Unlinks are atomic and tolerant of entries a concurrent process
+  /// already deleted; an entry whose unlink genuinely fails (permissions,
+  /// read-only fs) stays accounted as live, so the report never claims a
+  /// budget the disk does not meet. Compacts the manifest when anything
+  /// was evicted.
+  GcReport gc(std::uint64_t budget_bytes);
+
+  /// Walks the directory and validates every entry file; invalid entries
+  /// are reported, quarantined, or deleted per `mode`. Foreign files
+  /// (anything that is not a well-formed entry path, e.g. stray temp
+  /// droppings) are counted but never touched.
+  VerifyReport verify(RepairMode mode);
+
+  /// Deletes every entry, the manifest, and the quarantine dir. Returns
+  /// the number of entries removed.
+  std::uint64_t clear();
+
+  /// Re-syncs the in-memory map with the directory (cross-process
+  /// convergence); journal-known access order is preserved.
+  void rescan();
+
+ private:
+  struct Entry {
+    std::uint64_t size = 0;
+    std::uint64_t last_access = 0;
+  };
+
+  /// Buffered journal records per flush; keeps file I/O off the hot
+  /// lookup path (one in-memory push per hit, one append per batch).
+  static constexpr std::size_t kJournalFlushBatch = 64;
+
+  void scan_locked();
+  void buffer_journal_locked(ManifestRecord record);
+  void flush_journal_locked();
+  void compact_manifest_locked();
+  /// Live entries in eviction order (least recent first, hex tie-break).
+  [[nodiscard]] std::vector<std::pair<std::string, Entry>> lru_sorted_locked()
+      const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  /// key hex -> metadata. std::map keeps deterministic iteration for the
+  /// hex tie-break in eviction order.
+  std::map<std::string, Entry> entries_;
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t next_access_ = 1;
+  std::vector<ManifestRecord> pending_journal_;
+  /// Approximate record count in the on-disk journal (replayed + flushed);
+  /// when it outgrows the live-entry count by kJournalSlack x + slop, the
+  /// next flush compacts instead of appending.
+  std::uint64_t journal_records_ = 0;
+};
+
+}  // namespace distapx::service

@@ -8,6 +8,7 @@
 
 #include "service/batch_server.hpp"
 #include "service/job_spec.hpp"
+#include "support/fsutil.hpp"
 #include "support/table.hpp"
 
 namespace distapx::service {
@@ -25,18 +26,16 @@ void ensure_dir(const std::string& dir) {
   }
 }
 
-/// rename() when possible, copy+remove across filesystems. Throws: a job
-/// file that cannot leave the spool would otherwise be re-served on every
-/// poll cycle forever.
+/// fsutil::move_file (rename, or temp-copy + rename across filesystems —
+/// a half-copied job file must never become visible in done/failed).
+/// Throws JobError: a job file that cannot leave the spool would
+/// otherwise be re-served on every poll cycle forever.
 void move_file(const fs::path& from, const fs::path& to) {
-  std::error_code ec;
-  fs::rename(from, to, ec);
-  if (!ec) return;
-  fs::copy_file(from, to, fs::copy_options::overwrite_existing, ec);
-  if (!ec) fs::remove(from, ec);
-  if (ec) {
+  try {
+    fsutil::move_file(from, to);
+  } catch (const fs::filesystem_error& e) {
     throw JobError("cannot move " + from.string() + " to " + to.string() +
-                   ": " + ec.message());
+                   ": " + e.code().message());
   }
 }
 
@@ -56,7 +55,11 @@ Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {
   ensure_dir(opts_.spool_dir);
   ensure_dir(opts_.spool_dir + "/done");
   ensure_dir(opts_.spool_dir + "/failed");
-  if (!opts_.cache_dir.empty()) cache_.emplace(opts_.cache_dir);
+  if (!opts_.cache_dir.empty()) {
+    cache_.emplace(opts_.cache_dir, opts_.cache_budget);
+  } else if (opts_.cache_budget != 0) {
+    throw JobError("cache_budget needs a cache_dir");
+  }
 }
 
 JobFileReport Daemon::process_file(const std::string& path) {

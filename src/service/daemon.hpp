@@ -49,6 +49,10 @@ struct DaemonOptions {
   std::string spool_dir;  ///< required; created if absent
   /// Result-cache directory; empty = serve without a cache.
   std::string cache_dir;
+  /// Byte budget for the cache (ResultCache open-with-budget semantics:
+  /// evict to budget at open, re-enforce on every fill). 0 = unbounded;
+  /// nonzero without cache_dir is a JobError.
+  std::uint64_t cache_budget = 0;
   /// Worker threads per job file (BatchOptions::threads semantics).
   unsigned threads = 0;
   /// Delay between spool scans in run(), in milliseconds.

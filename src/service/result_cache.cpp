@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/genspec.hpp"
+#include "service/cache_manager.hpp"
 
 namespace distapx::service {
 
@@ -69,37 +70,116 @@ std::vector<unsigned char> encode(const Fingerprint& key, const RunRow& row) {
   return buf;
 }
 
-/// Full validation: length, magic, versions, key echo, checksum. Any
-/// mismatch returns nullopt — the caller recomputes.
-std::optional<RunRow> decode(const std::vector<unsigned char>& buf,
-                             const Fingerprint& key) {
-  if (buf.size() != kEntryBytes) return std::nullopt;
+/// Full validation of an in-memory entry image: length, magic, versions,
+/// key echo, checksum — reported as the first failing check.
+EntryStatus decode(const std::vector<unsigned char>& buf,
+                   const Fingerprint& key, RunRow* row_out) {
+  if (buf.size() != kEntryBytes) return EntryStatus::kBadLength;
   const unsigned char* p = buf.data();
-  if (std::memcmp(p, kMagic, 4) != 0) return std::nullopt;
-  if (get_u32(p + 4) != kFormatVersion) return std::nullopt;
-  if (get_u32(p + 8) != kEngineVersion) return std::nullopt;
+  if (std::memcmp(p, kMagic, 4) != 0) return EntryStatus::kBadMagic;
+  if (get_u32(p + 4) != kFormatVersion) return EntryStatus::kBadFormat;
+  if (get_u32(p + 8) != kEngineVersion) return EntryStatus::kBadEngine;
   if (get_u64(p + 12) != key.hi || get_u64(p + 20) != key.lo) {
-    return std::nullopt;
+    return EntryStatus::kKeyMismatch;
   }
   const std::size_t body = kEntryBytes - 16;
   const Fingerprint sum = fingerprint_bytes(p, body);
   if (get_u64(p + body) != sum.hi || get_u64(p + body + 8) != sum.lo) {
-    return std::nullopt;
+    return EntryStatus::kBadChecksum;
   }
-  RunRow row;
-  p += 28;
-  row.seed = get_u64(p);
-  row.rounds = get_u32(p + 8);
-  row.messages = get_u64(p + 12);
-  row.total_bits = get_u64(p + 20);
-  row.max_edge_bits = get_u32(p + 28);
-  row.completed = p[32] != 0;
-  row.solution_size = get_u64(p + 33);
-  row.objective = static_cast<Weight>(get_u64(p + 41));
-  return row;
+  if (row_out != nullptr) {
+    RunRow row;
+    p += 28;
+    row.seed = get_u64(p);
+    row.rounds = get_u32(p + 8);
+    row.messages = get_u64(p + 12);
+    row.total_bits = get_u64(p + 20);
+    row.max_edge_bits = get_u32(p + 28);
+    row.completed = p[32] != 0;
+    row.solution_size = get_u64(p + 33);
+    row.objective = static_cast<Weight>(get_u64(p + 41));
+    *row_out = row;
+  }
+  return EntryStatus::kOk;
+}
+
+bool is_hex_lower(std::string_view s) {
+  for (const char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
 }
 
 }  // namespace
+
+const char* entry_status_name(EntryStatus s) noexcept {
+  switch (s) {
+    case EntryStatus::kOk: return "ok";
+    case EntryStatus::kMissing: return "missing";
+    case EntryStatus::kIoError: return "io-error";
+    case EntryStatus::kBadLength: return "bad-length";
+    case EntryStatus::kBadMagic: return "bad-magic";
+    case EntryStatus::kBadFormat: return "bad-format";
+    case EntryStatus::kBadEngine: return "stale-engine";
+    case EntryStatus::kKeyMismatch: return "key-mismatch";
+    case EntryStatus::kBadChecksum: return "bad-checksum";
+  }
+  return "unknown";
+}
+
+std::size_t entry_file_size() noexcept { return kEntryBytes; }
+
+EntryStatus check_entry_file(const std::string& path, const Fingerprint& key,
+                             RunRow* row_out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    // ifstream reports EACCES exactly like ENOENT; a file that *exists*
+    // but cannot be opened is an I/O error (verify must not report a file
+    // its own directory walk just listed as "missing", and lookup counts
+    // it as a reject, not a plain miss).
+    std::error_code ec;
+    return fs::exists(path, ec) && !ec ? EntryStatus::kIoError
+                                       : EntryStatus::kMissing;
+  }
+  // Explicit read loop instead of one is.read(): a single read may stop
+  // short of EOF (interrupted stream, platform quirks), and iostream
+  // reports "asked for N, got fewer" identically for a truncated file and
+  // a mid-file short read. Accumulate until EOF or error so a file whose
+  // size happens to land on a read boundary is never misclassified: only
+  // genuinely-kEntryBytes files reach the decoder as full-length.
+  std::vector<unsigned char> buf(kEntryBytes + 1);
+  std::size_t got = 0;
+  while (got < buf.size()) {
+    is.read(reinterpret_cast<char*>(buf.data()) + got,
+            static_cast<std::streamsize>(buf.size() - got));
+    if (is.bad()) return EntryStatus::kIoError;
+    const std::size_t n = static_cast<std::size_t>(is.gcount());
+    got += n;
+    if (is.eof()) break;
+    if (n == 0) return EntryStatus::kIoError;  // no progress, no EOF
+  }
+  buf.resize(got);
+  return decode(buf, key, row_out);
+}
+
+std::string cache_entry_path(const std::string& dir, const Fingerprint& key) {
+  return cache_entry_path(dir, key.hex());
+}
+
+std::string cache_entry_path(const std::string& dir,
+                             const std::string& key_hex) {
+  return dir + "/" + key_hex.substr(0, 2) + "/" + key_hex.substr(2) + ".rr";
+}
+
+std::optional<Fingerprint> key_from_entry_path(const std::string& path) {
+  const fs::path p(path);
+  if (p.extension() != ".rr") return std::nullopt;
+  const std::string stem = p.stem().string();
+  const std::string fan = p.parent_path().filename().string();
+  if (fan.size() != 2 || stem.size() != 30) return std::nullopt;
+  if (!is_hex_lower(fan) || !is_hex_lower(stem)) return std::nullopt;
+  return Fingerprint::from_hex(fan + stem);
+}
 
 Fingerprinter job_fingerprinter(const JobSpec& spec) {
   Fingerprinter fp;
@@ -134,41 +214,53 @@ Fingerprint run_fingerprint(Fingerprinter job_prefix, std::uint64_t seed) {
   return job_prefix.digest();
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, std::uint64_t budget_bytes)
+    : dir_(std::move(dir)), budget_bytes_(budget_bytes) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_)) {
     throw JobError("cannot create cache directory " + dir_ + ": " +
                    ec.message());
   }
+  if (budget_bytes_ > 0) {
+    manager_ = std::make_unique<CacheManager>(dir_);
+    // Enforce immediately: a cache opened with a budget is within budget
+    // before the first lookup, whatever a previous (possibly unbudgeted)
+    // writer left behind.
+    manager_->gc(budget_bytes_);
+  }
 }
 
+ResultCache::~ResultCache() = default;
+
 std::string ResultCache::entry_path(const Fingerprint& key) const {
-  const std::string hex = key.hex();
-  return dir_ + "/" + hex.substr(0, 2) + "/" + hex.substr(2) + ".rr";
+  return cache_entry_path(dir_, key);
 }
 
 std::optional<RunRow> ResultCache::lookup(const Fingerprint& key) {
-  std::ifstream is(entry_path(key), std::ios::binary);
-  if (!is) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+  RunRow row;
+  const EntryStatus status = check_entry_file(entry_path(key), key, &row);
+  if (status == EntryStatus::kOk) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (manager_) {
+      manager_->record_get(key);
+      // record_get can *grow* the accounting: it adopts entries another
+      // (possibly unbudgeted) process filled into the shared directory.
+      // A fully-warm daemon never stores, so the budget must be enforced
+      // on hits too or adopted bytes would stand over budget for as long
+      // as the hit streak lasts.
+      enforce_budget();
+    }
+    return row;
   }
-  std::vector<unsigned char> buf(kEntryBytes + 1);
-  is.read(reinterpret_cast<char*>(buf.data()),
-          static_cast<std::streamsize>(buf.size()));
-  buf.resize(static_cast<std::size_t>(is.gcount()));
-  auto row = decode(buf, key);
-  if (!row) {
+  if (status != EntryStatus::kMissing) {
     // The entry existed but failed validation: corrupt, truncated, or a
     // stale version. Count it separately — a burst of rejects after an
     // engine bump is expected, a burst during steady state is not.
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return row;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
 void ResultCache::store(const Fingerprint& key, const RunRow& row) {
@@ -198,6 +290,22 @@ void ResultCache::store(const Fingerprint& key, const RunRow& row) {
                    ec.message());
   }
   stores_.fetch_add(1, std::memory_order_relaxed);
+  if (manager_) {
+    manager_->record_put(key, buf.size());
+    // Re-enforce on every fill so a long-lived budgeted cache (the spool
+    // daemon) stays bounded mid-run, not just at open.
+    enforce_budget();
+  }
+}
+
+void ResultCache::enforce_budget() {
+  // The common under-budget case is one in-memory check. When the budget
+  // trips, evict to a low watermark (budget - 1/8) rather than the budget
+  // itself, so a steady stream of fills amortizes each O(n log n) gc over
+  // ~budget/8 bytes of headroom instead of re-triggering per fill.
+  if (manager_->live_bytes() > budget_bytes_) {
+    manager_->gc(budget_bytes_ - budget_bytes_ / 8);
+  }
 }
 
 CacheStats ResultCache::stats() const noexcept {

@@ -22,10 +22,15 @@
 // versions, the full key, and a trailing checksum; lookup() treats any
 // mismatch — corruption, truncation, foreign file, stale version — as a
 // miss, so the worst failure mode is recomputation.
+//
+// Lifecycle (size budgets, LRU eviction, verify/repair) lives in
+// service/cache_manager.hpp; opening a ResultCache with a nonzero budget
+// attaches a CacheManager and keeps the directory bounded.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -34,6 +39,8 @@
 #include "support/fingerprint.hpp"
 
 namespace distapx::service {
+
+class CacheManager;  // service/cache_manager.hpp
 
 /// Bump when the engine or any algorithm changes behavior: old entries
 /// must stop hitting. (Independent of the file-format version inside
@@ -64,13 +71,70 @@ struct CacheStats {
   std::uint64_t rejected = 0;
 };
 
+// ---- entry-file machinery (shared with the cache manager) ----------------
+
+/// Classification of one on-disk entry file. lookup() folds every non-kOk
+/// outcome into a miss; CacheManager::verify reports the reason and
+/// quarantines/deletes the file.
+enum class EntryStatus {
+  kOk,
+  kMissing,      ///< no file at the path
+  kIoError,      ///< the file exists but could not be read
+  kBadLength,    ///< short (truncated) or long (foreign/garbage) file
+  kBadMagic,     ///< not a cache entry at all
+  kBadFormat,    ///< written by an incompatible serializer version
+  kBadEngine,    ///< written by an older/newer engine (stale semantics)
+  kKeyMismatch,  ///< valid entry filed under the wrong key (fs mixup)
+  kBadChecksum,  ///< payload corruption
+};
+
+/// Stable lowercase name for reports ("ok", "bad-checksum", ...).
+const char* entry_status_name(EntryStatus s) noexcept;
+
+/// Size in bytes of every valid entry file (the format is fixed-width).
+std::size_t entry_file_size() noexcept;
+
+/// Reads and fully validates one entry file against `key`: explicit
+/// short-read/EOF handling (a file truncated at any byte boundary is
+/// kBadLength, an unreadable one kIoError — never misclassified), then
+/// magic/format/engine/key-echo/checksum. On kOk the decoded row is
+/// written to `row_out` when non-null.
+EntryStatus check_entry_file(const std::string& path, const Fingerprint& key,
+                             RunRow* row_out = nullptr);
+
+/// The entry path `key` maps to under `dir`: <dir>/<hh>/<hex30>.rr,
+/// two-level fan-out on the first two hex digits. The hex overload is the
+/// single source of truth for the layout (the cache manager addresses
+/// entries by hex).
+std::string cache_entry_path(const std::string& dir, const Fingerprint& key);
+std::string cache_entry_path(const std::string& dir,
+                             const std::string& key_hex);
+
+/// Inverse of cache_entry_path: recovers the key a well-formed entry path
+/// encodes (a ".rr" file whose parent-dir name + stem are the 32 hex key
+/// digits); nullopt for anything else. Lets scan/verify walk a cache dir
+/// without a separate index.
+std::optional<Fingerprint> key_from_entry_path(const std::string& path);
+
 class ResultCache {
  public:
   /// Creates `dir` (and fan-out subdirectories lazily). Throws JobError if
   /// the directory cannot be created.
-  explicit ResultCache(std::string dir);
+  ///
+  /// `budget_bytes` > 0 opens the cache *with a budget*: a CacheManager is
+  /// attached, the directory is evicted down to the budget immediately
+  /// (LRU by the manifest's touch journal), every store records the fill
+  /// and re-enforces the budget, and every hit records a touch. 0 keeps
+  /// the PR-3 behavior: no manager, no journal, zero metadata overhead.
+  explicit ResultCache(std::string dir, std::uint64_t budget_bytes = 0);
+  ~ResultCache();
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::uint64_t budget_bytes() const noexcept {
+    return budget_bytes_;
+  }
+  /// Null when the cache was opened without a budget.
+  [[nodiscard]] CacheManager* manager() noexcept { return manager_.get(); }
 
   /// Returns the cached row, or nullopt on miss / invalid entry. Safe to
   /// call concurrently with lookups and stores from other threads and
@@ -88,7 +152,15 @@ class ResultCache {
   [[nodiscard]] std::string entry_path(const Fingerprint& key) const;
 
  private:
+  /// Evicts to the low watermark (budget - 1/8) when the manager's
+  /// accounting exceeds the budget. Called on fills and on hits (hits can
+  /// grow the accounting too: the manager adopts entries filled by other
+  /// processes sharing the directory).
+  void enforce_budget();
+
   std::string dir_;
+  std::uint64_t budget_bytes_ = 0;
+  std::unique_ptr<CacheManager> manager_;  ///< engaged iff budgeted
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> stores_{0};

@@ -26,6 +26,26 @@ std::string Fingerprint::hex() const {
   return s;
 }
 
+std::optional<Fingerprint> Fingerprint::from_hex(std::string_view s) {
+  if (s.size() != 32) return std::nullopt;
+  Fingerprint fp;
+  for (int i = 0; i < 32; ++i) {
+    const char c = s[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+    (i < 16 ? fp.hi : fp.lo) = ((i < 16 ? fp.hi : fp.lo) << 4) | digit;
+  }
+  return fp;
+}
+
 Fingerprinter& Fingerprinter::add_u64(std::uint64_t v) noexcept {
   // Lane-distinct round constants keep (hi, lo) from collapsing into one
   // 64-bit state; the golden-ratio increment breaks fixed points at 0.

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -32,6 +33,10 @@ struct Fingerprint {
 
   /// 32 lowercase hex digits, hi word first ("00ab...").
   [[nodiscard]] std::string hex() const;
+
+  /// Inverse of hex(): exactly 32 hex digits (either case), or nullopt.
+  /// The cache manager uses this to recover a key from an entry path.
+  static std::optional<Fingerprint> from_hex(std::string_view s);
 };
 
 /// Streaming fingerprint accumulator. Feed order matters; every add_*

@@ -1,0 +1,64 @@
+#include "support/fsutil.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <system_error>
+
+namespace distapx::fsutil {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::atomic<bool> g_force_copy{false};
+
+[[noreturn]] void throw_move_error(const fs::path& from, const fs::path& to,
+                                   const std::error_code& ec) {
+  throw fs::filesystem_error("cannot move file", from, to, ec);
+}
+
+}  // namespace
+
+void set_force_copy_move_for_testing(bool force) noexcept {
+  g_force_copy.store(force, std::memory_order_relaxed);
+}
+
+void move_file(const fs::path& from, const fs::path& to) {
+  std::error_code ec;
+  if (!g_force_copy.load(std::memory_order_relaxed)) {
+    fs::rename(from, to, ec);
+    if (!ec) return;
+    // EXDEV is the expected reason to fall through; for anything else
+    // (source missing, destination dir absent) the copy below fails with
+    // the same diagnosis, so no need to special-case here.
+  }
+
+  // Copy to a temp name *in the destination directory*, then rename into
+  // place: the destination name never exposes a partial file, and the
+  // final rename is same-directory so it cannot hit EXDEV itself.
+  const fs::path tmp =
+      to.parent_path() /
+      (".move-tmp." + std::to_string(::getpid()) + "." + to.filename().string());
+  fs::copy_file(from, tmp, fs::copy_options::overwrite_existing, ec);
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    throw_move_error(from, to, ec);
+  }
+  fs::rename(tmp, to, ec);
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    throw_move_error(from, to, ec);
+  }
+  fs::remove(from, ec);
+  if (ec) {
+    // The destination is complete; a source that cannot be removed would
+    // be re-claimed by the spool scan forever, so it is still an error.
+    throw_move_error(from, to, ec);
+  }
+}
+
+}  // namespace distapx::fsutil

@@ -1,0 +1,32 @@
+// Filesystem helpers shared by the service layer.
+//
+// move_file is the daemon's spool-move primitive (spool -> done/failed)
+// and the cache manager's quarantine move. rename(2) is atomic but fails
+// with EXDEV when source and destination sit on different filesystems
+// (spool on tmpfs, done/ on disk; cache and quarantine on separate
+// mounts). The fallback must preserve the visibility guarantee rename
+// gives for free: a reader listing the destination directory either sees
+// the complete file or no file — never a half-copied one. So the copy
+// lands in a hidden temp name next to the destination and is renamed into
+// place (same directory, so that rename cannot itself hit EXDEV); only
+// then is the source removed.
+#pragma once
+
+#include <filesystem>
+
+namespace distapx::fsutil {
+
+/// Moves `from` to `to`: rename when possible, temp-copy + rename +
+/// remove-source across filesystems. Throws std::filesystem::
+/// filesystem_error on failure; on any failure the destination path
+/// either holds the complete file or nothing (temp droppings are
+/// cleaned up), and the source survives unless the move fully succeeded.
+void move_file(const std::filesystem::path& from,
+               const std::filesystem::path& to);
+
+/// Test seam: when set, move_file skips the rename(2) fast path and
+/// always exercises the cross-filesystem copy fallback — a single-mount
+/// test box cannot produce a real EXDEV. Not for production use.
+void set_force_copy_move_for_testing(bool force) noexcept;
+
+}  // namespace distapx::fsutil

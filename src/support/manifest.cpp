@@ -1,0 +1,80 @@
+#include "support/manifest.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace distapx {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string format_line(const ManifestRecord& record) {
+  std::string line = record.tag;
+  for (const std::string& f : record.fields) {
+    line += ' ';
+    line += f;
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+std::vector<ManifestRecord> read_manifest(const std::string& path) {
+  std::vector<ManifestRecord> records;
+  std::ifstream is(path);
+  if (!is) return records;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream tokens(line);
+    ManifestRecord record;
+    if (!(tokens >> record.tag)) continue;  // blank or torn line: skip
+    std::string field;
+    while (tokens >> field) record.fields.push_back(std::move(field));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+bool append_manifest(const std::string& path,
+                     const std::vector<ManifestRecord>& records) {
+  std::ofstream os(path, std::ios::app);
+  if (!os) return false;
+  // One buffered write per call keeps whole lines contiguous; O_APPEND
+  // (ios::app) makes each underlying write land at the live end of file
+  // even with concurrent appenders.
+  std::string buf;
+  for (const ManifestRecord& r : records) buf += format_line(r);
+  os << buf;
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+bool compact_manifest(const std::string& path,
+                      const std::vector<ManifestRecord>& records) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return false;
+    for (const ManifestRecord& r : records) os << format_line(r);
+    os.flush();
+    if (!os) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace distapx

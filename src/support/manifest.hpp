@@ -1,0 +1,49 @@
+// Append-only on-disk manifests (line-oriented record journals).
+//
+// The cache manager (service/cache_manager.hpp) tracks per-entry metadata
+// — sizes and last-access order — in a journal it can append to cheaply
+// from many processes at once and replay on open. This module provides
+// that primitive generically: a manifest is a text file of one record per
+// line, `tag field field ...`, whitespace-separated.
+//
+// Durability model: the manifest is *advisory* metadata. Appends are
+// single-write lines on an O_APPEND stream, so concurrent appenders from
+// different processes interleave at line granularity in the common case;
+// a torn or malformed line (crash mid-write, pathological interleaving)
+// is skipped by read_manifest rather than failing the load. Consumers
+// must treat the replayed records as hints and keep ground truth
+// elsewhere (for the cache: the entry files themselves, which are
+// immutable and checksummed). compact_manifest rewrites atomically via
+// temp + rename, so readers never observe a half-written manifest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distapx {
+
+/// One manifest line: a tag and its fields ("F ab12... 97" ->
+/// tag="F", fields={"ab12...", "97"}).
+struct ManifestRecord {
+  std::string tag;
+  std::vector<std::string> fields;
+};
+
+/// Replays every well-formed line of `path` in file order. A missing file
+/// is an empty manifest; malformed lines (empty, torn) are skipped.
+std::vector<ManifestRecord> read_manifest(const std::string& path);
+
+/// Appends records to `path`, one line each, in O_APPEND mode (each call
+/// reopens the stream, so concurrent appenders from other processes land
+/// at the current end of file). Returns false if the write failed —
+/// manifest appends are advisory, so callers typically shrug.
+bool append_manifest(const std::string& path,
+                     const std::vector<ManifestRecord>& records);
+
+/// Atomically replaces `path` with exactly `records` (temp + rename).
+/// Returns false on failure, leaving the old manifest intact.
+bool compact_manifest(const std::string& path,
+                      const std::vector<ManifestRecord>& records);
+
+}  // namespace distapx

@@ -1,10 +1,52 @@
 #include "support/parse.hpp"
 
+#include <cctype>
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
 
 namespace distapx {
+
+namespace {
+
+/// The decimal grammar parse_double_strict accepts: [+-] digits [. digits]
+/// [eE [+-] digits], with at least one digit somewhere in the mantissa.
+/// strtod alone also accepts "inf", "nan", hex floats, and leading
+/// whitespace — every one of which has leaked through a "strict" parser
+/// built on full-consumption checks alone.
+bool is_plain_decimal(const std::string& token) {
+  std::size_t i = 0;
+  if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+  std::size_t mantissa_digits = 0;
+  while (i < token.size() &&
+         std::isdigit(static_cast<unsigned char>(token[i]))) {
+    ++i;
+    ++mantissa_digits;
+  }
+  if (i < token.size() && token[i] == '.') {
+    ++i;
+    while (i < token.size() &&
+           std::isdigit(static_cast<unsigned char>(token[i]))) {
+      ++i;
+      ++mantissa_digits;
+    }
+  }
+  if (mantissa_digits == 0) return false;
+  if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+    ++i;
+    if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+    std::size_t exp_digits = 0;
+    while (i < token.size() &&
+           std::isdigit(static_cast<unsigned char>(token[i]))) {
+      ++i;
+      ++exp_digits;
+    }
+    if (exp_digits == 0) return false;
+  }
+  return i == token.size();
+}
+
+}  // namespace
 
 std::optional<std::uint64_t> parse_uint_strict(const std::string& token,
                                                std::uint64_t max_value) {
@@ -19,7 +61,10 @@ std::optional<std::uint64_t> parse_uint_strict(const std::string& token,
 }
 
 std::optional<double> parse_double_strict(const std::string& token) {
-  if (token.empty()) return std::nullopt;
+  // Grammar first: this rejects "inf"/"nan"/hex floats/whitespace before
+  // strtod ever sees them, so the only strtod outcomes left to police are
+  // full consumption and overflow-to-infinity ("1e999" -> HUGE_VAL).
+  if (!is_plain_decimal(token)) return std::nullopt;
   const char* begin = token.c_str();
   char* end = nullptr;
   const double value = std::strtod(begin, &end);
@@ -27,6 +72,22 @@ std::optional<double> parse_double_strict(const std::string& token) {
     return std::nullopt;
   }
   return value;
+}
+
+std::optional<std::uint64_t> parse_size_bytes(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  std::uint64_t shift = 0;
+  std::string digits = token;
+  switch (token.back()) {
+    case 'k': case 'K': shift = 10; break;
+    case 'm': case 'M': shift = 20; break;
+    case 'g': case 'G': shift = 30; break;
+    default: break;
+  }
+  if (shift != 0) digits.pop_back();
+  const auto value = parse_uint_strict(digits, UINT64_MAX >> shift);
+  if (!value) return std::nullopt;
+  return *value << shift;
 }
 
 }  // namespace distapx

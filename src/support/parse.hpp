@@ -18,8 +18,17 @@ namespace distapx {
 std::optional<std::uint64_t> parse_uint_strict(const std::string& token,
                                                std::uint64_t max_value);
 
-/// Finite double; the whole token must parse ("inf"/"nan" are rejected —
-/// every caller feeds the value into arithmetic that assumes finiteness).
+/// Finite double in plain decimal notation. The whole token must parse;
+/// "inf"/"nan" (every caller feeds the value into arithmetic that assumes
+/// finiteness), hex floats ("0x1p3"), values that overflow to infinity
+/// ("1e999"), and leading/trailing whitespace are all rejected — strtod
+/// alone accepts several of those.
 std::optional<double> parse_double_strict(const std::string& token);
+
+/// Byte size with an optional binary suffix: "4096", "64k", "8M", "2g"
+/// (k/m/g are case-insensitive powers of 1024). Rejects anything else,
+/// including fractional sizes and values that overflow uint64 after
+/// scaling. Used by the --cache-budget flags and the cache subcommand.
+std::optional<std::uint64_t> parse_size_bytes(const std::string& token);
 
 }  // namespace distapx

@@ -194,6 +194,21 @@ TEST(JobFileNegativePaths, BadSeedRanges) {
             "18446744073709551615]");
 }
 
+TEST(JobFileNegativePaths, NonFiniteAndHexFloatValuesAreRejected) {
+  // strtod would happily parse every one of these; the strict-decimal
+  // contract turns them into the usual line-numbered diagnostics.
+  EXPECT_EQ(job_file_error("gen=path:10 algo=luby eps=inf\n"),
+            "line 1: eps=inf is not a finite number");
+  EXPECT_EQ(job_file_error("# header\ngen=path:10 algo=mcm-2eps eps=nan\n"),
+            "line 2: eps=nan is not a finite number");
+  EXPECT_EQ(job_file_error("gen=path:10 algo=luby eps=0x1p3\n"),
+            "line 1: eps=0x1p3 is not a finite number");
+  EXPECT_EQ(job_file_error("\ngen=path:10 algo=mcm-1eps eps=1e999\n"),
+            "line 2: eps=1e999 is not a finite number");
+  EXPECT_EQ(job_file_error("gen=path:10 algo=luby eps=infinity\n"),
+            "line 1: eps=infinity is not a finite number");
+}
+
 TEST(JobFileNegativePaths, EmbeddedGenSpecErrorsKeepLineAndSpecContext) {
   // A bad generator spec inside a job line surfaces the SpecError text
   // (family, parameter index, offending token) behind the line number.

@@ -14,8 +14,10 @@
 #include <thread>
 
 #include "service/batch_server.hpp"
+#include "service/cache_manager.hpp"
 #include "service/daemon.hpp"
 #include "service/job_spec.hpp"
+#include "support/fsutil.hpp"
 #include "test_helpers.hpp"
 
 namespace distapx {
@@ -197,6 +199,119 @@ TEST(Daemon, MaxFilesBoundsTheRun) {
   ASSERT_EQ(reports.size(), 1u);
   EXPECT_EQ(reports[0].name, "first");             // lexicographic claim
   EXPECT_TRUE(fs::exists(spool.path / "second.job"));  // left for later
+}
+
+// ---- cross-filesystem move fallback ----------------------------------------
+
+/// Forces every fsutil::move_file through the copy+rename fallback (the
+/// EXDEV path a single-mount test box cannot trigger for real) for the
+/// test's lifetime.
+class ForcedCopyMove : public ::testing::Test {
+ protected:
+  void SetUp() override { fsutil::set_force_copy_move_for_testing(true); }
+  void TearDown() override { fsutil::set_force_copy_move_for_testing(false); }
+};
+
+TEST_F(ForcedCopyMove, MoveFilePreservesContentAndLeavesNoDroppings) {
+  const ScopedTempDir dir("distapx-move-copy");
+  fs::create_directories(dir.path / "dest");
+  const fs::path from = dir.path / "src.job";
+  {
+    std::ofstream os(from);
+    os << kGoodJobs;
+  }
+  fsutil::move_file(from, dir.path / "dest" / "src.job");
+  EXPECT_FALSE(fs::exists(from));  // source consumed
+  EXPECT_EQ(slurp(dir.path / "dest" / "src.job"), kGoodJobs);
+  // The intermediate temp name was renamed away, not left behind.
+  for (const auto& e : fs::recursive_directory_iterator(dir.path)) {
+    EXPECT_EQ(e.path().filename().string().rfind(".move-tmp.", 0),
+              std::string::npos)
+        << e.path();
+  }
+}
+
+TEST_F(ForcedCopyMove, FailedMoveNeverExposesAPartialDestination) {
+  const ScopedTempDir dir("distapx-move-fail");
+  fs::create_directories(dir.path);
+  const fs::path from = dir.path / "src.job";
+  {
+    std::ofstream os(from);
+    os << kGoodJobs;
+  }
+  // Destination directory does not exist: the copy fails. The regression
+  // contract: the destination *name* never appears (not even partially),
+  // the source survives for a retry, and no temp files leak.
+  const fs::path to = dir.path / "missing" / "src.job";
+  EXPECT_THROW(fsutil::move_file(from, to), fs::filesystem_error);
+  EXPECT_TRUE(fs::exists(from));
+  EXPECT_FALSE(fs::exists(to));
+  for (const auto& e : fs::recursive_directory_iterator(dir.path)) {
+    EXPECT_EQ(e.path().filename().string().rfind(".move-tmp.", 0),
+              std::string::npos)
+        << e.path();
+  }
+}
+
+TEST_F(ForcedCopyMove, DaemonSpoolMovesSurviveTheFallbackPath) {
+  // End-to-end regression for the EXDEV fallback: the daemon's moves into
+  // done/ and failed/ run through copy+rename, results are byte-identical
+  // to the rename path, and the spool tree holds no half-copied files.
+  const ScopedTempDir spool("distapx-spool-exdev");
+  service::Daemon daemon(opts_for(spool));
+  spool_file(spool.path, "good", kGoodJobs);
+  spool_file(spool.path, "bad", "gen=path:10 algo=frobnicate\n");
+
+  const auto reports = daemon.drain_once();
+  ASSERT_EQ(reports.size(), 2u);  // lexicographic: bad then good
+  EXPECT_FALSE(reports[0].ok);
+  EXPECT_TRUE(reports[1].ok);
+
+  // Both moves completed: full content at the final names.
+  EXPECT_EQ(slurp(spool.path / "done" / "good.job"), kGoodJobs);
+  EXPECT_EQ(slurp(spool.path / "failed" / "bad.job"),
+            "gen=path:10 algo=frobnicate\n");
+  EXPECT_FALSE(fs::exists(spool.path / "good.job"));
+  EXPECT_FALSE(fs::exists(spool.path / "bad.job"));
+  for (const auto& e : fs::recursive_directory_iterator(spool.path)) {
+    EXPECT_EQ(e.path().filename().string().rfind(".move-tmp.", 0),
+              std::string::npos)
+        << e.path();
+  }
+}
+
+TEST(Daemon, CacheBudgetKeepsTheCacheBoundedAcrossJobFiles) {
+  const ScopedTempDir spool("distapx-spool-budget");
+  const ScopedTempDir cache("distapx-spool-budget-cache");
+  auto opts = opts_for(spool, cache.str());
+  opts.cache_budget = 5 * service::entry_file_size();
+  service::Daemon daemon(opts);
+
+  spool_file(spool.path, "cold", kGoodJobs);
+  auto reports = daemon.drain_once();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok);
+  EXPECT_LE(daemon.cache()->manager()->live_bytes(), opts.cache_budget);
+
+  // The same workload again: partial hits (only what survived eviction),
+  // but the published rows are identical bytes — budget never changes
+  // results, only hit rate.
+  spool_file(spool.path, "warm", kGoodJobs);
+  reports = daemon.drain_once();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok);
+  EXPECT_LT(reports[0].cache_hits, reports[0].runs);
+  const fs::path done = spool.path / "done";
+  EXPECT_EQ(slurp(done / "warm.runs.csv"), slurp(done / "cold.runs.csv"));
+  EXPECT_LE(daemon.cache()->manager()->live_bytes(), opts.cache_budget);
+}
+
+TEST(Daemon, CacheBudgetWithoutCacheDirIsRejected) {
+  const ScopedTempDir spool("distapx-spool-budget-nodir");
+  service::DaemonOptions opts;
+  opts.spool_dir = spool.str();
+  opts.cache_budget = 1024;
+  EXPECT_THROW(service::Daemon{opts}, service::JobError);
 }
 
 TEST(Daemon, EmptyJobFileIsQuarantinedNotLooped) {

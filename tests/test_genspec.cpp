@@ -194,6 +194,22 @@ TEST(GenSpecNegativePaths, ExactMessages) {
       << unknown;
 }
 
+TEST(GenSpecNegativePaths, NonFiniteHexAndOverflowingNumbers) {
+  // strtod parses all of these; the strict-decimal contract must not.
+  EXPECT_EQ(spec_error("gnp:100:inf"),
+            "bad generator spec \"gnp:100:inf\": parameter 2 (\"inf\") "
+            "is not a finite number");
+  EXPECT_EQ(spec_error("gnp:100:nan"),
+            "bad generator spec \"gnp:100:nan\": parameter 2 (\"nan\") "
+            "is not a finite number");
+  EXPECT_EQ(spec_error("gnp:100:0x1p-4"),
+            "bad generator spec \"gnp:100:0x1p-4\": parameter 2 "
+            "(\"0x1p-4\") is not a finite number");
+  EXPECT_EQ(spec_error("powerlaw:100:1e999:4"),
+            "bad generator spec \"powerlaw:100:1e999:4\": parameter 2 "
+            "(\"1e999\") is not a finite number");
+}
+
 // ---- canonicalization (the result-cache key form) --------------------------
 
 TEST(GenSpecCanonical, NormalizesNumericSpellings) {

@@ -327,6 +327,80 @@ TEST_F(CacheRejection, ForeignMagicRejected) {
   expect_rejected_then_recomputed();
 }
 
+TEST_F(CacheRejection, EveryTruncationBoundaryRejectedByteByByte) {
+  fill();
+  const auto good = read_entry();
+  ASSERT_EQ(good.size(), service::entry_file_size());
+  // A file truncated at *any* byte boundary — including exactly at the
+  // header/key/checksum field edges a lazy length check could misread —
+  // must reject. Generated byte by byte: every prefix length from 0 to
+  // full-1.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    write_entry({good.begin(), good.begin() + static_cast<std::ptrdiff_t>(len)});
+    service::RunRow row;
+    EXPECT_EQ(service::check_entry_file(path_, key_, &row),
+              service::EntryStatus::kBadLength)
+        << "prefix of " << len << " bytes";
+    EXPECT_FALSE(cache_->lookup(key_).has_value()) << len << " bytes";
+  }
+  EXPECT_EQ(cache_->stats().rejected, good.size());
+  EXPECT_EQ(cache_->stats().hits, 0u);
+
+  // One byte too long is equally rejected (a concatenated/garbage file).
+  auto extended = good;
+  extended.push_back('\0');
+  write_entry(extended);
+  EXPECT_EQ(service::check_entry_file(path_, key_, nullptr),
+            service::EntryStatus::kBadLength);
+  EXPECT_FALSE(cache_->lookup(key_).has_value());
+
+  // And the exact full-length image still round-trips afterwards.
+  write_entry(good);
+  const auto hit = cache_->lookup(key_);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, row_);
+}
+
+TEST_F(CacheRejection, CheckEntryFileReportsTheFirstFailingCheck) {
+  fill();
+  EXPECT_EQ(service::check_entry_file(path_, key_, nullptr),
+            service::EntryStatus::kOk);
+  EXPECT_EQ(service::check_entry_file(path_ + ".nope", key_, nullptr),
+            service::EntryStatus::kMissing);
+
+  // An entry path that exists but cannot be read as a file (here: a
+  // directory squatting on it) is an I/O error, not "missing" — verify
+  // must never call a file its own directory walk listed "missing".
+  const std::string blocked = path_ + ".blocked";
+  fs::create_directories(blocked);
+  EXPECT_EQ(service::check_entry_file(blocked, key_, nullptr),
+            service::EntryStatus::kIoError);
+
+  // Wrong key against a valid file: key mismatch, not checksum.
+  const Fingerprint other = service::run_fingerprint(luby_spec(), 555);
+  EXPECT_EQ(service::check_entry_file(path_, other, nullptr),
+            service::EntryStatus::kKeyMismatch);
+
+  auto bytes = read_entry();
+  bytes[0] = 'X';
+  write_entry(bytes);
+  EXPECT_EQ(service::check_entry_file(path_, key_, nullptr),
+            service::EntryStatus::kBadMagic);
+
+  bytes = read_entry();
+  bytes[0] = 'D';  // restore magic, break the format version instead
+  bytes[4] = static_cast<char>(bytes[4] + 1);
+  write_entry(bytes);
+  EXPECT_EQ(service::check_entry_file(path_, key_, nullptr),
+            service::EntryStatus::kBadFormat);
+
+  bytes[4] = static_cast<char>(bytes[4] - 1);
+  bytes[bytes.size() / 2] ^= 0x40;
+  write_entry(bytes);
+  EXPECT_EQ(service::check_entry_file(path_, key_, nullptr),
+            service::EntryStatus::kBadChecksum);
+}
+
 TEST_F(CacheRejection, EntryRenamedUnderWrongKeyRejected) {
   fill();
   // A filesystem-level mixup (entry copied to another key's path) must be

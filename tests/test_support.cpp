@@ -6,6 +6,8 @@
 
 #include "support/assert.hpp"
 #include "support/bits.hpp"
+#include "support/fingerprint.hpp"
+#include "support/parse.hpp"
 #include "support/random.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -144,6 +146,78 @@ TEST(Bits, Logs) {
   EXPECT_EQ(log_star(4.0), 2);
   EXPECT_EQ(log_star(16.0), 3);
   EXPECT_EQ(log_star(65536.0), 4);
+}
+
+TEST(Parse, UintStrictAcceptsWholeTokensInRange) {
+  EXPECT_EQ(parse_uint_strict("0", 100), 0u);
+  EXPECT_EQ(parse_uint_strict("42", 100), 42u);
+  EXPECT_EQ(parse_uint_strict("100", 100), 100u);
+  EXPECT_EQ(parse_uint_strict("18446744073709551615", UINT64_MAX),
+            UINT64_MAX);
+}
+
+TEST(Parse, UintStrictRejectsPartialAndOutOfRange) {
+  for (const char* bad : {"", "-1", "+1", "12x", "x12", "1 ", " 1", "1.5",
+                          "0x10", "18446744073709551616"}) {
+    EXPECT_FALSE(parse_uint_strict(bad, UINT64_MAX).has_value()) << bad;
+  }
+  EXPECT_FALSE(parse_uint_strict("101", 100).has_value());
+}
+
+TEST(Parse, DoubleStrictAcceptsPlainDecimals) {
+  EXPECT_DOUBLE_EQ(*parse_double_strict("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("+0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(*parse_double_strict(".5"), 0.5);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("2."), 2.0);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("2.5E-2"), 0.025);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("0"), 0.0);
+}
+
+TEST(Parse, DoubleStrictRejectsNonFiniteHexAndWhitespace) {
+  // The "whole number or error" contract: everything strtod sneaks past a
+  // full-consumption check must still be rejected — inf/nan (callers feed
+  // the value into arithmetic assuming finiteness), hex floats, overflow
+  // to infinity, leading whitespace (strtod skips it silently).
+  for (const char* bad :
+       {"", "inf", "+inf", "-inf", "infinity", "INF", "nan", "NaN",
+        "nan(0x1)", "0x10", "0x1p3", "0X1.8P1", "1e999", "-1e999", " 1.5",
+        "1.5 ", "\t2", "1.5x", "x1.5", "--1", "1e", "e5", ".", "+", "1.2.3",
+        "1,5"}) {
+    EXPECT_FALSE(parse_double_strict(bad).has_value()) << "\"" << bad << "\"";
+  }
+}
+
+TEST(Parse, SizeBytesScalesBinarySuffixes) {
+  EXPECT_EQ(*parse_size_bytes("0"), 0u);
+  EXPECT_EQ(*parse_size_bytes("4096"), 4096u);
+  EXPECT_EQ(*parse_size_bytes("2k"), 2048u);
+  EXPECT_EQ(*parse_size_bytes("2K"), 2048u);
+  EXPECT_EQ(*parse_size_bytes("3m"), 3u << 20);
+  EXPECT_EQ(*parse_size_bytes("1G"), 1u << 30);
+  for (const char* bad :
+       {"", "k", "2kb", "2.5k", "-2k", "2 k", "0x2k", "1t",
+        "18446744073709551615k"}) {
+    EXPECT_FALSE(parse_size_bytes(bad).has_value()) << bad;
+  }
+}
+
+TEST(Fingerprint, HexRoundTripsThroughFromHex) {
+  Fingerprint fp;
+  fp.hi = 0x0123456789abcdefULL;
+  fp.lo = 0xfedcba9876543210ULL;
+  const auto back = Fingerprint::from_hex(fp.hex());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, fp);
+
+  EXPECT_TRUE(Fingerprint::from_hex("0123456789ABCDEFfedcba9876543210")
+                  .has_value());  // either case
+  EXPECT_FALSE(Fingerprint::from_hex("").has_value());
+  EXPECT_FALSE(Fingerprint::from_hex("0123").has_value());  // short
+  EXPECT_FALSE(
+      Fingerprint::from_hex("g123456789abcdeffedcba9876543210").has_value());
+  EXPECT_FALSE(Fingerprint::from_hex(fp.hex() + "0").has_value());  // long
 }
 
 TEST(Stats, SummaryBasics) {

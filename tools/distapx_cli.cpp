@@ -4,10 +4,13 @@
 //
 // Usage:
 //   distapx_cli <algorithm> [options]
-//   distapx_cli batch <jobfile> [--threads N] [--cache DIR] [--csv F]
-//                     [--json F] [--runs F] [--quiet]
-//   distapx_cli serve <spool-dir> [--cache-dir DIR] [--threads N]
-//                     [--poll-ms M] [--max-files K] [--once]
+//   distapx_cli batch <jobfile> [--threads N] [--cache DIR]
+//                     [--cache-budget SIZE] [--csv F] [--json F] [--runs F]
+//                     [--quiet]
+//   distapx_cli serve <spool-dir> [--cache-dir DIR] [--cache-budget SIZE]
+//                     [--threads N] [--poll-ms M] [--max-files K] [--once]
+//   distapx_cli cache <dir> {stats | ls | verify [--quarantine|--delete] |
+//                     gc --budget SIZE | clear}
 //
 // Algorithms:
 //   luby           Luby's MIS
@@ -50,6 +53,7 @@
 #include "mis/ghaffari_nmis.hpp"
 #include "mis/luby.hpp"
 #include "service/batch_server.hpp"
+#include "service/cache_manager.hpp"
 #include "service/daemon.hpp"
 #include "service/job_spec.hpp"
 #include "service/result_cache.hpp"
@@ -85,6 +89,15 @@ std::uint64_t flag_uint(const std::string& flag, const std::string& tok,
 double flag_double(const std::string& flag, const std::string& tok) {
   const auto v = parse_double_strict(tok);
   if (!v) usage_error(flag + " " + tok + " is not a finite number");
+  return *v;
+}
+
+std::uint64_t flag_size(const std::string& flag, const std::string& tok) {
+  const auto v = parse_size_bytes(tok);
+  if (!v) {
+    usage_error(flag + " " + tok +
+                " is not a byte size (integer with optional k/m/g suffix)");
+  }
   return *v;
 }
 
@@ -131,6 +144,7 @@ int run_batch(int argc, char** argv) {
   const std::string job_file = argv[2];
   service::BatchOptions batch_opts;
   std::string csv_file, json_file, runs_file, cache_dir;
+  std::uint64_t cache_budget = 0;
   bool quiet = false;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -143,6 +157,8 @@ int run_batch(int argc, char** argv) {
           static_cast<unsigned>(flag_uint(flag, value(), 1u << 16));
     } else if (flag == "--cache") {
       cache_dir = value();
+    } else if (flag == "--cache-budget") {
+      cache_budget = flag_size(flag, value());
     } else if (flag == "--csv") {
       csv_file = value();
     } else if (flag == "--json") {
@@ -156,10 +172,13 @@ int run_batch(int argc, char** argv) {
     }
   }
 
+  if (cache_budget != 0 && cache_dir.empty()) {
+    usage_error("--cache-budget needs --cache DIR");
+  }
   std::optional<service::ResultCache> cache;
   if (!cache_dir.empty()) {
     try {
-      cache.emplace(cache_dir);
+      cache.emplace(cache_dir, cache_budget);
     } catch (const std::exception& e) {
       usage_error(e.what());
     }
@@ -226,6 +245,8 @@ int run_serve(int argc, char** argv) {
     };
     if (flag == "--cache-dir") {
       opts.cache_dir = value();
+    } else if (flag == "--cache-budget") {
+      opts.cache_budget = flag_size(flag, value());
     } else if (flag == "--threads") {
       opts.threads = static_cast<unsigned>(flag_uint(flag, value(), 1u << 16));
     } else if (flag == "--poll-ms") {
@@ -268,6 +289,117 @@ int run_serve(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
+/// `distapx_cli cache <dir> <command>`: inspect and repair a result-cache
+/// directory. Output is stable `key value` lines (stats/gc) or a table
+/// (ls), so CI and scripts can assert on it.
+int run_cache(int argc, char** argv) {
+  if (argc < 4) {
+    usage_error(
+        "cache needs a directory and a command: "
+        "stats | ls | verify [--quarantine|--delete] | gc --budget SIZE | "
+        "clear");
+  }
+  const std::string dir = argv[2];
+  const std::string command = argv[3];
+
+  std::optional<service::CacheManager> manager;
+  try {
+    manager.emplace(dir);
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
+
+  if (command == "stats") {
+    if (argc > 4) usage_error("cache stats takes no flags");
+    const auto s = manager->stats();
+    std::cout << "entries " << s.entries << "\n"
+              << "bytes " << s.bytes << "\n"
+              << "manifest_bytes " << s.manifest_bytes << "\n"
+              << "quarantined " << s.quarantined << "\n";
+    return 0;
+  }
+
+  if (command == "ls") {
+    std::uint64_t limit = 0;
+    for (int i = 4; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--limit") {
+        if (i + 1 >= argc) usage_error("missing value for " + flag);
+        limit = flag_uint(flag, argv[++i]);
+      } else {
+        usage_error("unknown cache ls flag " + flag);
+      }
+    }
+    // LRU first: the top of the listing is what gc would evict next.
+    const auto entries = manager->entries_lru();
+    Table t({"key", "bytes", "last_access"});
+    std::uint64_t shown = 0;
+    for (const auto& e : entries) {
+      if (limit != 0 && shown++ >= limit) break;
+      t.add_row({e.key.hex(), Table::fmt(e.size), Table::fmt(e.last_access)});
+    }
+    t.print(std::cout);
+    std::cout << entries.size() << " entries (least recently used first)\n";
+    return 0;
+  }
+
+  if (command == "verify") {
+    service::RepairMode mode = service::RepairMode::kReport;
+    for (int i = 4; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--quarantine") {
+        mode = service::RepairMode::kQuarantine;
+      } else if (flag == "--delete") {
+        mode = service::RepairMode::kDelete;
+      } else {
+        usage_error("unknown cache verify flag " + flag);
+      }
+    }
+    const auto report = manager->verify(mode);
+    for (const auto& f : report.findings) {
+      std::cout << "invalid " << f.path << " ("
+                << service::entry_status_name(f.status) << ")\n";
+    }
+    std::cout << "checked " << report.checked << "\n"
+              << "ok " << report.ok << "\n"
+              << "invalid " << report.invalid << "\n"
+              << "quarantined " << report.quarantined << "\n"
+              << "deleted " << report.deleted << "\n"
+              << "foreign " << report.foreign << "\n";
+    return report.invalid == report.quarantined + report.deleted ? 0 : 1;
+  }
+
+  if (command == "gc") {
+    std::uint64_t budget = 0;
+    bool have_budget = false;
+    for (int i = 4; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--budget") {
+        if (i + 1 >= argc) usage_error("missing value for " + flag);
+        budget = flag_size(flag, argv[++i]);
+        have_budget = true;
+      } else {
+        usage_error("unknown cache gc flag " + flag);
+      }
+    }
+    if (!have_budget) usage_error("cache gc needs --budget SIZE");
+    const auto report = manager->gc(budget);
+    std::cout << "evicted_entries " << report.evicted_entries << "\n"
+              << "evicted_bytes " << report.evicted_bytes << "\n"
+              << "live_entries " << report.live_entries << "\n"
+              << "live_bytes " << report.live_bytes << "\n";
+    return 0;
+  }
+
+  if (command == "clear") {
+    if (argc > 4) usage_error("cache clear takes no flags");
+    std::cout << "removed " << manager->clear() << "\n";
+    return 0;
+  }
+
+  usage_error("unknown cache command " + command);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,9 +408,12 @@ int main(int argc, char** argv) {
         << "usage: distapx_cli <algorithm> [--graph FILE | --gen SPEC] "
            "[--seed S] [--eps E] [--maxw W] [--out FILE]\n"
            "       distapx_cli batch <jobfile> [--threads N] [--cache DIR] "
-           "[--csv F] [--json F] [--runs F] [--quiet]\n"
+           "[--cache-budget SIZE] [--csv F] [--json F] [--runs F] [--quiet]\n"
            "       distapx_cli serve <spool-dir> [--cache-dir DIR] "
-           "[--threads N] [--poll-ms M] [--max-files K] [--once]\n"
+           "[--cache-budget SIZE] [--threads N] [--poll-ms M] "
+           "[--max-files K] [--once]\n"
+           "       distapx_cli cache <dir> {stats | ls [--limit N] | verify "
+           "[--quarantine|--delete] | gc --budget SIZE | clear}\n"
            "algorithms: luby nmis maxis-alg2 maxis-alg3 mwm-lr mwm-lr-det "
            "mcm-2eps mwm-2eps mcm-1eps proposal\n"
            "gen specs: " << gen::spec_usage() << "\n";
@@ -286,6 +421,7 @@ int main(int argc, char** argv) {
   }
   if (std::string(argv[1]) == "batch") return run_batch(argc, argv);
   if (std::string(argv[1]) == "serve") return run_serve(argc, argv);
+  if (std::string(argv[1]) == "cache") return run_cache(argc, argv);
   Options opt;
   opt.algorithm = argv[1];
   for (int i = 2; i < argc; ++i) {
