@@ -1,0 +1,258 @@
+// Socket serving throughput: the same mixed job file served through the
+// three transports that now front the cache-backed BatchServer —
+// in-process (`batch`), spool directory (the PR-3 daemon), and the framed
+// socket tier — cold and warm, plus socket client-concurrency scaling.
+//
+// The guarantee under measurement is the determinism contract across
+// transports: every serving path returns byte-identical runs CSV for the
+// same job file, so the transport choice is purely an ops/latency
+// decision. The bench asserts that equality on every single response
+// while reporting what each transport costs.
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "service/batch_server.hpp"
+#include "service/daemon.hpp"
+#include "service/job_spec.hpp"
+#include "service/report_sink.hpp"
+#include "service/result_cache.hpp"
+#include "service/socket_server.hpp"
+#include "support/assert.hpp"
+
+namespace distapx {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+/// Mixed IS + matching workload, small enough for a CI smoke run but
+/// heterogeneous like examples/jobs_mixed.txt.
+const char* kJobFile =
+    "gen=gnp:300:0.02   algo=luby       seeds=1:12 name=gnp-luby\n"
+    "gen=grid:14:14     algo=mcm-2eps   seeds=1:6  eps=0.25 name=grid-mcm\n"
+    "gen=regular:256:6  algo=maxis-alg2 seeds=1:5  maxw=512 name=reg-maxis\n"
+    "gen=tree:500       algo=mwm-lr     seeds=1:4  maxw=64  name=tree-mwm\n";
+constexpr std::uint64_t kTotalRuns = 12 + 6 + 5 + 4;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+fs::path scratch_dir(const std::string& tag) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("distapx-bench-socket-" + tag + "-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// One in-process serve rendered to the same CSV bytes every transport
+/// must reproduce.
+std::string serve_in_process(unsigned threads, service::ResultCache* cache) {
+  std::istringstream is(kJobFile);
+  service::BatchServer server({threads, cache});
+  server.submit_all(service::parse_job_file(is));
+  return service::render_result("bench", server.serve()).runs_csv;
+}
+
+void transports_cold_vs_warm() {
+  const unsigned threads = bench::default_threads();
+  bench::banner(
+      "E12: one job file, three transports (in-process / spool / socket)",
+      "The socket tier returns byte-identical rows to `batch` and the "
+      "spool daemon — the transport is an ops choice, not a semantics "
+      "choice. Cold = compute + fill cache, warm = all cache hits.");
+  std::cout << "4 jobs, " << kTotalRuns << " runs per request, " << threads
+            << " worker threads\n\n";
+
+  const std::string reference = serve_in_process(threads, nullptr);
+  const int warm_reps = 3;
+  Table t({"transport", "cold_s", "warm_s", "warm_req_per_s",
+           "cold_over_warm"});
+
+  const auto add_row = [&](const std::string& name, double cold_s,
+                           double warm_s) {
+    t.add_row({name, Table::fmt(cold_s, 4), Table::fmt(warm_s, 4),
+               Table::fmt(1.0 / warm_s, 1), Table::fmt(cold_s / warm_s, 1)});
+  };
+
+  // ---- in-process ----------------------------------------------------------
+  {
+    const fs::path cache_dir = scratch_dir("inproc");
+    service::ResultCache cache(cache_dir.string());
+    auto t0 = Clock::now();
+    DISTAPX_ENSURE(serve_in_process(threads, &cache) == reference);
+    const double cold_s = seconds_since(t0);
+    double warm_best = 0;
+    for (int r = 0; r < warm_reps; ++r) {
+      t0 = Clock::now();
+      DISTAPX_ENSURE(serve_in_process(threads, &cache) == reference);
+      const double s = seconds_since(t0);
+      warm_best = r == 0 ? s : std::min(warm_best, s);
+    }
+    DISTAPX_ENSURE(cache.stats().hits ==
+                   static_cast<std::uint64_t>(warm_reps) * kTotalRuns);
+    add_row("in-process batch", cold_s, warm_best);
+    fs::remove_all(cache_dir);
+  }
+
+  // ---- spool daemon --------------------------------------------------------
+  {
+    const fs::path spool = scratch_dir("spool");
+    const fs::path cache_dir = scratch_dir("spool-cache");
+    service::DaemonOptions opts;
+    opts.spool_dir = spool.string();
+    opts.cache_dir = cache_dir.string();
+    opts.threads = threads;
+    service::Daemon daemon(opts);
+    const auto submit_and_drain = [&](const std::string& name) {
+      {
+        std::ofstream os(spool / (name + ".tmp"));
+        os << kJobFile;
+      }
+      fs::rename(spool / (name + ".tmp"), spool / (name + ".job"));
+      const auto t0 = Clock::now();
+      const auto reports = daemon.drain_once();
+      const double s = seconds_since(t0);
+      DISTAPX_ENSURE(reports.size() == 1 && reports[0].ok);
+      DISTAPX_ENSURE(slurp(spool / "done" / (name + ".runs.csv")) ==
+                     reference);
+      return s;
+    };
+    const double cold_s = submit_and_drain("cold");
+    double warm_best = 0;
+    for (int r = 0; r < warm_reps; ++r) {
+      const double s = submit_and_drain("warm" + std::to_string(r));
+      warm_best = r == 0 ? s : std::min(warm_best, s);
+    }
+    add_row("spool daemon", cold_s, warm_best);
+    fs::remove_all(spool);
+    fs::remove_all(cache_dir);
+  }
+
+  // ---- socket --------------------------------------------------------------
+  {
+    const fs::path sock_dir = scratch_dir("sock");
+    const fs::path cache_dir = scratch_dir("sock-cache");
+    fs::create_directories(sock_dir);
+    service::SocketServerOptions opts;
+    opts.endpoint = net::parse_endpoint((sock_dir / "dx.sock").string());
+    opts.threads = threads;
+    opts.cache_dir = cache_dir.string();
+    service::SocketServer server(std::move(opts));
+    std::thread io([&] { (void)server.run(); });
+    net::Client client = net::Client::connect(server.endpoint());
+    const auto submit_once = [&] {
+      const auto t0 = Clock::now();
+      const auto outcome = client.submit(kJobFile);
+      const double s = seconds_since(t0);
+      DISTAPX_ENSURE(outcome.ok);
+      DISTAPX_ENSURE(outcome.result.runs_csv == reference);
+      return s;
+    };
+    const double cold_s = submit_once();
+    double warm_best = 0;
+    for (int r = 0; r < warm_reps; ++r) {
+      const double s = submit_once();
+      warm_best = r == 0 ? s : std::min(warm_best, s);
+    }
+    add_row("unix socket", cold_s, warm_best);
+    server.request_stop();
+    io.join();
+    fs::remove_all(sock_dir);
+    fs::remove_all(cache_dir);
+  }
+
+  t.print(std::cout);
+  std::cout << "\n(every response above verified byte-identical to the "
+               "in-process reference rows)\n";
+}
+
+void socket_client_scaling() {
+  const unsigned threads = bench::default_threads();
+  bench::banner(
+      "E12b: socket serving under client concurrency (warm cache)",
+      "K concurrent clients hammer one server over a Unix socket; every "
+      "response carries bit-identical rows. Jobs execute in arrival "
+      "order, so concurrency buys pipelining of framing/transport against "
+      "execution, not reordering.");
+
+  const fs::path sock_dir = scratch_dir("scale");
+  const fs::path cache_dir = scratch_dir("scale-cache");
+  fs::create_directories(sock_dir);
+  service::SocketServerOptions opts;
+  opts.endpoint = net::parse_endpoint((sock_dir / "dx.sock").string());
+  opts.threads = threads;
+  opts.cache_dir = cache_dir.string();
+  service::SocketServer server(std::move(opts));
+  std::thread io([&] { (void)server.run(); });
+
+  const std::string reference = serve_in_process(threads, nullptr);
+  {
+    // Warm the cache once before measuring.
+    net::Client client = net::Client::connect(server.endpoint());
+    const auto outcome = client.submit(kJobFile);
+    DISTAPX_ENSURE(outcome.ok && outcome.result.runs_csv == reference);
+  }
+
+  constexpr int kRequestsPerClient = 8;
+  Table t({"clients", "requests", "wall_s", "req_per_s"});
+  for (const int clients : {1, 2, 4, 8}) {
+    std::atomic<int> mismatches{0};
+    const auto t0 = Clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&] {
+        net::Client client = net::Client::connect(server.endpoint());
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          const auto outcome = client.submit(kJobFile);
+          if (!outcome.ok || outcome.result.runs_csv != reference) {
+            ++mismatches;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double wall = seconds_since(t0);
+    DISTAPX_ENSURE(mismatches.load() == 0);
+    const int total = clients * kRequestsPerClient;
+    t.add_row({Table::fmt(static_cast<std::uint64_t>(clients)),
+               Table::fmt(static_cast<std::uint64_t>(total)),
+               Table::fmt(wall, 4),
+               Table::fmt(static_cast<double>(total) / wall, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(all responses bit-identical across all client counts)\n";
+
+  server.request_stop();
+  io.join();
+  fs::remove_all(sock_dir);
+  fs::remove_all(cache_dir);
+}
+
+}  // namespace
+}  // namespace distapx
+
+int main() {
+  distapx::transports_cold_vs_warm();
+  distapx::socket_client_scaling();
+  std::cout << "\nbench_socket_serving: all determinism guards passed\n";
+  return 0;
+}

@@ -8,8 +8,8 @@
 
 #include "service/batch_server.hpp"
 #include "service/job_spec.hpp"
+#include "service/report_sink.hpp"
 #include "support/fsutil.hpp"
-#include "support/table.hpp"
 
 namespace distapx::service {
 
@@ -86,26 +86,14 @@ JobFileReport Daemon::process_file(const std::string& path) {
 
     // Publish results before moving the job file: a crash between the two
     // leaves the file in the spool to be re-served (idempotent thanks to
-    // the cache), never a consumed-but-unreported job.
-    {
-      std::ostringstream os;
-      summary_table(result).write_csv(os);
-      write_text(done / (report.name + ".summary.csv"), os.str());
-    }
-    {
-      std::ostringstream os;
-      runs_table(result).write_csv(os);
-      write_text(done / (report.name + ".runs.csv"), os.str());
-    }
-    write_text(done / (report.name + ".report.txt"),
-               "job_file " + job_path.filename().string() + "\n" +
-                   "jobs " + std::to_string(result.jobs.size()) + "\n" +
-                   "runs " + std::to_string(report.runs) + "\n" +
-                   "served_from_cache " + std::to_string(report.cache_hits) +
-                   "\n" + "computed " + std::to_string(report.computed) +
-                   "\n" + "hit_rate " + Table::fmt(report.hit_rate(), 4) +
-                   "\n" + "wall_seconds " +
-                   Table::fmt(report.wall_seconds, 4) + "\n");
+    // the cache), never a consumed-but-unreported job. Rendering goes
+    // through the shared report sink, so these bytes are the same ones
+    // the socket server returns in a RESULT frame.
+    const RenderedResult rendered =
+        render_result(job_path.filename().string(), result);
+    write_text(done / (report.name + ".summary.csv"), rendered.summary_csv);
+    write_text(done / (report.name + ".runs.csv"), rendered.runs_csv);
+    write_text(done / (report.name + ".report.txt"), rendered.report_txt);
     move_file(job_path, done / job_path.filename());
   } catch (const std::exception& e) {
     // Quarantine: the diagnostic (with its line number, for parse errors)
@@ -150,9 +138,18 @@ std::vector<JobFileReport> Daemon::drain_once() {
   return reports;
 }
 
+std::uint32_t next_idle_wait_ms(std::uint32_t current_ms,
+                                std::uint32_t cap_ms) noexcept {
+  if (current_ms == 0) return cap_ms < 1 ? cap_ms : 1;
+  const std::uint32_t doubled =
+      current_ms > cap_ms / 2 ? cap_ms : current_ms * 2;
+  return doubled < cap_ms ? doubled : cap_ms;
+}
+
 std::vector<JobFileReport> Daemon::run() {
   const fs::path sentinel = fs::path(opts_.spool_dir) / "stop";
   std::vector<JobFileReport> all;
+  std::uint32_t wait_ms = 0;  // backoff state; 0 = just saw activity
   for (;;) {
     std::error_code ec;
     if (fs::exists(sentinel, ec)) {
@@ -160,11 +157,16 @@ std::vector<JobFileReport> Daemon::run() {
       break;
     }
     auto reports = drain_once();
+    // Exponential idle backoff: a scan that found work resets the wait
+    // (more files often follow a burst), every empty scan doubles it up
+    // to poll_ms. An idle daemon settles at one stat per poll_ms instead
+    // of a fixed-rate scan loop, and a busy one re-scans immediately.
+    wait_ms = reports.empty() ? next_idle_wait_ms(wait_ms, opts_.poll_ms) : 0;
     all.insert(all.end(), std::make_move_iterator(reports.begin()),
                std::make_move_iterator(reports.end()));
     if (stop_.load()) break;
     if (opts_.max_files != 0 && served_ >= opts_.max_files) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(opts_.poll_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
   }
   return all;
 }

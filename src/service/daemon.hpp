@@ -55,7 +55,11 @@ struct DaemonOptions {
   std::uint64_t cache_budget = 0;
   /// Worker threads per job file (BatchOptions::threads semantics).
   unsigned threads = 0;
-  /// Delay between spool scans in run(), in milliseconds.
+  /// Upper bound on the delay between spool scans in run(), in
+  /// milliseconds. run() backs off exponentially while the spool stays
+  /// empty — the scan after a served file comes almost immediately, then
+  /// 2x per empty scan up to this cap — so a busy spool is drained with
+  /// low latency and an idle daemon stops burning a fixed-rate stat loop.
   std::uint32_t poll_ms = 200;
   /// Stop after serving this many job files (0 = no limit). Lets tests and
   /// one-shot CLI invocations bound the daemon's lifetime.
@@ -78,6 +82,13 @@ struct JobFileReport {
                            static_cast<double>(runs);
   }
 };
+
+/// The idle-poll backoff schedule run() follows: 1ms after activity,
+/// doubling per empty scan, capped at `cap_ms` (a zero cap polls as fast
+/// as the scan itself — the old poll_ms=0 busy-drain behavior). Exposed
+/// so tests can pin the schedule without timing a sleep loop.
+std::uint32_t next_idle_wait_ms(std::uint32_t current_ms,
+                                std::uint32_t cap_ms) noexcept;
 
 class Daemon {
  public:

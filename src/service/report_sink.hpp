@@ -1,0 +1,35 @@
+// Shared rendering of one served job file's publication artifacts.
+//
+// The spool daemon (daemon.hpp) publishes three files per job file —
+// NAME.summary.csv, NAME.runs.csv, NAME.report.txt — and the socket
+// server (socket_server.hpp) returns the same three byte streams in a
+// RESULT frame. Both render through this sink, so "the rows you get over
+// the socket" and "the rows the daemon drops into done/" are the same
+// bytes by construction, not by parallel-maintenance luck.
+//
+// Determinism contract: summary_csv and runs_csv are pure functions of
+// the job file's content (and kEngineVersion). report_txt carries
+// operational telemetry (hit rate, wall seconds) and the caller-chosen
+// job label; it is deliberately outside the byte-identity contract.
+#pragma once
+
+#include <string>
+
+#include "service/batch_server.hpp"
+
+namespace distapx::service {
+
+/// The three publication artifacts of one served job file.
+struct RenderedResult {
+  std::string summary_csv;  ///< summary_table(result) as CSV
+  std::string runs_csv;     ///< runs_table(result) as CSV (determinism witness)
+  std::string report_txt;   ///< served/computed/hit-rate counters
+};
+
+/// Renders a BatchResult. `job_label` names the source in report_txt's
+/// "job_file" line — the daemon passes the spool file name ("sweep.job"),
+/// the socket server a per-submission label.
+RenderedResult render_result(const std::string& job_label,
+                             const BatchResult& result);
+
+}  // namespace distapx::service

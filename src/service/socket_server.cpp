@@ -1,0 +1,534 @@
+#include "service/socket_server.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "service/batch_server.hpp"
+#include "service/job_spec.hpp"
+#include "service/report_sink.hpp"
+
+namespace distapx::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One client connection's state machine.
+struct Conn {
+  fdio::Fd fd;
+  net::FrameReader reader;
+  std::string outbuf;  ///< encoded response frames awaiting the peer
+  std::size_t outoff = 0;
+  bool closing = false;   ///< flush outbuf, then close
+  bool read_eof = false;  ///< peer half-closed; responses may still flow
+  std::uint32_t inflight = 0;  ///< SUBMITs queued/executing for this conn
+  /// Reap deadline while mid-frame or flushing against a dead-weight
+  /// peer; Clock::time_point::max() = no deadline.
+  Clock::time_point deadline = Clock::time_point::max();
+
+  explicit Conn(fdio::Fd f, std::size_t max_frame)
+      : fd(std::move(f)), reader(max_frame) {}
+
+  [[nodiscard]] bool has_output() const noexcept {
+    return outoff < outbuf.size();
+  }
+};
+
+/// A SUBMIT handed to the executor thread.
+struct PendingJob {
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;  ///< 1-based submission number (report label)
+  std::string payload;    ///< raw job-file bytes
+};
+
+/// What the executor hands back to the I/O thread.
+struct Completion {
+  std::uint64_t conn_id = 0;
+  bool ok = false;
+  net::ResultPayload result;  ///< when ok
+  std::string error;          ///< when !ok
+  std::uint64_t cache_hits = 0;
+  std::uint64_t computed = 0;
+};
+
+/// Nonblocking send; returns bytes written (0 on EAGAIN), -1 on a dead
+/// peer. MSG_NOSIGNAL: a hung-up client must never SIGPIPE the server.
+ssize_t send_some(int fd, const char* data, std::size_t n) noexcept {
+  for (;;) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w >= 0) return w;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+}  // namespace
+
+SocketServer::SocketServer(SocketServerOptions opts)
+    : opts_(std::move(opts)) {
+  if (!opts_.cache_dir.empty()) {
+    cache_.emplace(opts_.cache_dir, opts_.cache_budget);
+  } else if (opts_.cache_budget != 0) {
+    throw JobError("cache_budget needs a cache_dir");
+  }
+  listener_ = net::Listener::open(opts_.endpoint);
+  ep_ = listener_->endpoint();
+}
+
+SocketServerStats SocketServer::run() {
+  SocketServerStats stats;
+
+  std::map<std::uint64_t, Conn> conns;
+  std::uint64_t next_conn_id = 1;
+  std::uint64_t inflight_total = 0;  ///< jobs enqueued, completion pending
+  bool draining = false;
+
+  // ---- executor: runs job files through the cache-backed BatchServer ----
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<PendingJob> queue;           // guarded by mu
+  std::vector<Completion> completions;    // guarded by mu
+  bool executor_exit = false;             // guarded by mu
+
+  const auto execute = [this](PendingJob& job) {
+    Completion done;
+    done.conn_id = job.conn_id;
+    try {
+      std::istringstream is(job.payload);
+      BatchOptions batch_opts;
+      batch_opts.threads = opts_.threads;
+      batch_opts.cache = cache();
+      BatchServer server(batch_opts);
+      server.submit_all(parse_job_file(is));
+      if (server.num_jobs() == 0) throw JobError("job file contains no jobs");
+      const BatchResult result = server.serve();
+      const RenderedResult rendered =
+          render_result("submit-" + std::to_string(job.seq), result);
+      done.result.summary_csv = rendered.summary_csv;
+      done.result.runs_csv = rendered.runs_csv;
+      done.result.report_txt = rendered.report_txt;
+      if (net::result_wire_size(done.result) > net::kMaxWirePayload) {
+        // Degrade to ERR rather than let encode_frame throw on the I/O
+        // thread: the rows exist, they just cannot ride a u32-framed
+        // RESULT (split the job file instead).
+        throw JobError("result of " +
+                       std::to_string(net::result_wire_size(done.result)) +
+                       " bytes exceeds the wire format's u32 frame limit; "
+                       "split the job file");
+      }
+      done.ok = true;
+      done.cache_hits = result.cache_hits;
+      done.computed = result.computed;
+    } catch (const std::exception& e) {
+      // Parse errors (line-numbered JobError), spec errors, and run-time
+      // failures (e.g. a CONGEST violation) all become this client's ERR
+      // payload; the server keeps serving.
+      done.ok = false;
+      done.error = e.what();
+    }
+    return done;
+  };
+
+  std::thread executor([&] {
+    for (;;) {
+      PendingJob job;
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return !queue.empty() || executor_exit; });
+        if (queue.empty()) return;  // executor_exit and nothing left
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      Completion done = execute(job);
+      {
+        std::lock_guard lock(mu);
+        completions.push_back(std::move(done));
+      }
+      pipe_.poke();
+    }
+  });
+
+  // ---- I/O-thread helpers ------------------------------------------------
+
+  const auto queue_depth = [&] {
+    std::lock_guard lock(mu);
+    return queue.size();
+  };
+
+  const auto enqueue_response = [&](Conn& conn, net::FrameType type,
+                                    std::string_view payload) {
+    conn.outbuf.append(net::encode_frame(type, payload));
+  };
+
+  // Close-after-flush, with a reap deadline so a peer that never reads
+  // cannot pin the connection (or wedge a drain) forever.
+  const auto begin_close = [&](Conn& conn) {
+    conn.closing = true;
+    if (conn.has_output() && opts_.idle_timeout_ms != 0) {
+      conn.deadline = Clock::now() +
+                      std::chrono::milliseconds(opts_.idle_timeout_ms);
+    }
+  };
+
+  const auto begin_drain = [&] {
+    if (draining) return;
+    draining = true;
+    listener_.reset();  // new connects are refused from here on
+    for (auto& [id, conn] : conns) {
+      if (conn.inflight == 0) begin_close(conn);
+    }
+  };
+
+  const auto stats_text = [&] {
+    std::ostringstream os;
+    os << "endpoint " << ep_.to_string() << "\n"
+       << "draining " << (draining ? 1 : 0) << "\n"
+       << "connections_open " << conns.size() << "\n"
+       << "connections_accepted " << stats.connections_accepted << "\n"
+       << "submits_accepted " << stats.submits_accepted << "\n"
+       << "results_ok " << stats.results_ok << "\n"
+       << "results_error " << stats.results_error << "\n"
+       << "protocol_errors " << stats.protocol_errors << "\n"
+       << "timeouts " << stats.timeouts << "\n"
+       << "pings " << stats.pings << "\n"
+       << "cache_hits " << stats.cache_hits << "\n"
+       << "computed " << stats.computed << "\n"
+       << "queue_depth " << queue_depth() << "\n";
+    return os.str();
+  };
+
+  const auto protocol_error = [&](Conn& conn, const std::string& what) {
+    ++stats.protocol_errors;
+    enqueue_response(conn, net::FrameType::kError, "protocol error: " + what);
+    begin_close(conn);
+  };
+
+  const auto handle_frame = [&](std::uint64_t conn_id, Conn& conn,
+                                net::Frame& frame) {
+    switch (frame.type) {
+      case net::FrameType::kHello: {
+        std::uint32_t version = 0;
+        std::string software;
+        if (!net::decode_hello(frame.payload, version, software)) {
+          protocol_error(conn, "malformed HELLO payload");
+          return;
+        }
+        if (version != net::kProtocolVersion) {
+          enqueue_response(conn, net::FrameType::kError,
+                           "unsupported protocol version " +
+                               std::to_string(version) + " (server speaks " +
+                               std::to_string(net::kProtocolVersion) + ")");
+          begin_close(conn);
+          return;
+        }
+        enqueue_response(conn, net::FrameType::kHello, net::encode_hello());
+        return;
+      }
+      case net::FrameType::kPing:
+        ++stats.pings;
+        enqueue_response(conn, net::FrameType::kPong, {});
+        return;
+      case net::FrameType::kStatsReq:
+        enqueue_response(conn, net::FrameType::kStats, stats_text());
+        return;
+      case net::FrameType::kSubmit: {
+        if (draining) {
+          enqueue_response(conn, net::FrameType::kError,
+                           "server is draining; submit rejected");
+          return;
+        }
+        ++stats.submits_accepted;
+        ++conn.inflight;
+        ++inflight_total;
+        {
+          std::lock_guard lock(mu);
+          queue.push_back(PendingJob{conn_id, stats.submits_accepted,
+                                     std::move(frame.payload)});
+        }
+        cv.notify_one();
+        if (opts_.max_requests != 0 &&
+            stats.submits_accepted >= opts_.max_requests) {
+          begin_drain();
+        }
+        return;
+      }
+      case net::FrameType::kShutdown:
+        if (!opts_.allow_remote_shutdown) {
+          enqueue_response(conn, net::FrameType::kError,
+                           "shutdown over the wire is disabled");
+          return;
+        }
+        enqueue_response(conn, net::FrameType::kShutdown, {});
+        begin_drain();
+        // begin_drain skipped this conn if it has inflight work; without
+        // any it must still flush the ack before closing.
+        if (conn.inflight == 0) begin_close(conn);
+        return;
+      case net::FrameType::kResult:
+      case net::FrameType::kError:
+      case net::FrameType::kPong:
+      case net::FrameType::kStats:
+        protocol_error(conn, "server-to-client frame type from a client");
+        return;
+    }
+    protocol_error(conn, "unknown frame type");
+  };
+
+  const auto read_from = [&](std::uint64_t conn_id, Conn& conn) {
+    // Returns false when the conn was torn down and must be erased.
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t r = fdio::read_some(conn.fd.get(), buf, sizeof buf);
+      if (r < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (conn.reader.mid_frame()) ++stats.protocol_errors;
+        return false;  // reset underneath us
+      }
+      if (r == 0) {
+        conn.read_eof = true;
+        if (conn.reader.mid_frame()) {
+          // Truncated frame: the peer hung up with a frame half-sent.
+          ++stats.protocol_errors;
+          return false;
+        }
+        // Clean half-close: finish in-flight work and flush responses
+        // (deliver_completions closes once inflight hits zero), then
+        // close.
+        if (conn.inflight == 0) {
+          if (!conn.has_output()) return false;
+          begin_close(conn);
+        }
+        break;
+      }
+      conn.reader.feed(buf, static_cast<std::size_t>(r));
+      for (;;) {
+        net::Frame frame;
+        const net::FrameStatus status = conn.reader.next(frame);
+        if (status == net::FrameStatus::kFrame) {
+          handle_frame(conn_id, conn, frame);
+          if (conn.closing) break;
+          continue;
+        }
+        if (status == net::FrameStatus::kNeedMore) break;
+        protocol_error(conn, net::frame_status_name(status));
+        break;
+      }
+      if (conn.closing) break;
+      if (r < static_cast<ssize_t>(sizeof buf)) break;  // drained the socket
+    }
+    // Arm / disarm the slow-loris deadline: a partially received frame
+    // puts the peer on the clock.
+    if (!conn.closing && opts_.idle_timeout_ms != 0) {
+      conn.deadline = conn.reader.mid_frame()
+                          ? Clock::now() + std::chrono::milliseconds(
+                                               opts_.idle_timeout_ms)
+                          : Clock::time_point::max();
+    }
+    return true;
+  };
+
+  const auto write_to = [&](Conn& conn) {
+    // Returns false when the conn must be erased (peer gone, or flushed
+    // and closing).
+    while (conn.has_output()) {
+      const ssize_t w = send_some(conn.fd.get(), conn.outbuf.data() + conn.outoff,
+                                  conn.outbuf.size() - conn.outoff);
+      if (w < 0) return false;
+      if (w > 0 && opts_.idle_timeout_ms != 0) {
+        // Progress resets the reap clock: only a peer *refusing* to read
+        // its responses runs it out, not a slow one.
+        conn.deadline =
+            Clock::now() + std::chrono::milliseconds(opts_.idle_timeout_ms);
+      }
+      if (w == 0) return true;  // kernel buffer full; poll for POLLOUT
+      conn.outoff += static_cast<std::size_t>(w);
+    }
+    conn.outbuf.clear();
+    conn.outoff = 0;
+    if (conn.closing) return false;
+    if (opts_.idle_timeout_ms != 0 && !conn.reader.mid_frame()) {
+      conn.deadline = Clock::time_point::max();
+    }
+    return true;
+  };
+
+  const auto deliver_completions = [&] {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard lock(mu);
+      batch.swap(completions);
+    }
+    for (Completion& done : batch) {
+      --inflight_total;
+      if (done.ok) {
+        ++stats.results_ok;
+        stats.cache_hits += done.cache_hits;
+        stats.computed += done.computed;
+      } else {
+        ++stats.results_error;
+      }
+      const auto it = conns.find(done.conn_id);
+      if (it == conns.end()) continue;  // client left; drop the response
+      Conn& conn = it->second;
+      --conn.inflight;
+      if (done.ok) {
+        enqueue_response(conn, net::FrameType::kResult,
+                         net::encode_result(done.result));
+      } else {
+        enqueue_response(conn, net::FrameType::kError, done.error);
+      }
+      if ((draining || conn.read_eof) && conn.inflight == 0) {
+        begin_close(conn);
+      }
+    }
+  };
+
+  // ---- the poll loop -----------------------------------------------------
+
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> pfd_conn;  // conn id per pollfd (0 = not a conn)
+  for (;;) {
+    if (stop_.load()) begin_drain();
+    // Closing connections with nothing left to flush are done; sweeping
+    // here (not just in the event handlers) catches the ones begin_drain
+    // marked, so a drain with idle clients cannot park in poll forever.
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->second.closing && !it->second.has_output()) {
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (draining && inflight_total == 0 && conns.empty()) break;
+
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({pipe_.read_fd(), POLLIN, 0});
+    pfd_conn.push_back(0);
+    if (listener_) {
+      pfds.push_back({listener_->fd(), POLLIN, 0});
+      pfd_conn.push_back(0);
+    }
+    const std::size_t first_conn_pfd = pfds.size();
+    Clock::time_point nearest = Clock::time_point::max();
+    for (auto& [id, conn] : conns) {
+      short events = 0;
+      if (!conn.closing && !conn.read_eof) events |= POLLIN;
+      if (conn.has_output()) {
+        events |= POLLOUT;
+        // Undelivered responses put the peer on the reap clock too (not
+        // just mid-frame stalls): a client that submits but never reads
+        // must not pin the connection — or its ever-growing outbuf —
+        // forever. write_to pushes the deadline on every flush progress.
+        if (opts_.idle_timeout_ms != 0 &&
+            conn.deadline == Clock::time_point::max()) {
+          conn.deadline = Clock::now() +
+                          std::chrono::milliseconds(opts_.idle_timeout_ms);
+        }
+      }
+      pfds.push_back({conn.fd.get(), events, 0});
+      pfd_conn.push_back(id);
+      if (conn.deadline < nearest) nearest = conn.deadline;
+    }
+
+    int timeout_ms = -1;
+    if (nearest != Clock::time_point::max()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            nearest - Clock::now())
+                            .count();
+      timeout_ms = left < 0 ? 0 : static_cast<int>(left) + 1;
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      throw net::NetError(std::string("poll: ") + std::strerror(errno));
+    }
+
+    if (pfds[0].revents & POLLIN) pipe_.drain();
+    deliver_completions();
+    if (stop_.load()) begin_drain();
+
+    if (listener_ && !draining) {
+      // The listener pollfd position is fixed (index 1) while listening.
+      if (pfds.size() > 1 && pfd_conn[1] == 0 && pfds[1].fd == listener_->fd() &&
+          (pfds[1].revents & POLLIN)) {
+        for (;;) {
+          fdio::Fd accepted = listener_->accept_connection();
+          if (!accepted) break;
+          ++stats.connections_accepted;
+          conns.emplace(next_conn_id++,
+                        Conn(std::move(accepted), opts_.max_frame_bytes));
+        }
+      }
+    }
+
+    for (std::size_t i = first_conn_pfd; i < pfds.size(); ++i) {
+      const std::uint64_t id = pfd_conn[i];
+      const auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      Conn& conn = it->second;
+      bool alive = true;
+      if (alive && (pfds[i].revents & POLLIN) && !conn.closing) {
+        alive = read_from(id, conn);
+      }
+      if (alive && (pfds[i].revents & POLLOUT)) {
+        alive = write_to(conn);
+      }
+      // A response enqueued by this very iteration (e.g. PONG) often fits
+      // the socket buffer; write eagerly instead of waiting a poll cycle.
+      if (alive && conn.has_output() && !(pfds[i].revents & POLLOUT)) {
+        alive = write_to(conn);
+      }
+      if (alive &&
+          (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) &&
+          !(pfds[i].revents & POLLIN)) {
+        if (conn.reader.mid_frame()) ++stats.protocol_errors;
+        alive = false;
+      }
+      if (alive && conn.deadline != Clock::time_point::max() &&
+          Clock::now() >= conn.deadline) {
+        // Slow loris (stalled mid-frame) or a closing peer that never
+        // drains its responses: classified, counted, reaped.
+        ++stats.timeouts;
+        if (conn.reader.mid_frame() && !conn.closing) {
+          ++stats.protocol_errors;
+          // Courtesy diagnostic — but only onto an empty output buffer:
+          // injecting it after a partially flushed frame would corrupt
+          // the peer's byte stream.
+          if (!conn.has_output()) {
+            const std::string err = net::encode_frame(
+                net::FrameType::kError,
+                "protocol error: timeout waiting for the rest of a frame");
+            (void)send_some(conn.fd.get(), err.data(), err.size());
+          }
+        }
+        alive = false;
+      }
+      if (!alive) conns.erase(it);
+    }
+  }
+
+  {
+    std::lock_guard lock(mu);
+    executor_exit = true;
+  }
+  cv.notify_one();
+  executor.join();
+  deliver_completions();  // completions raced with the drain; count them
+  return stats;
+}
+
+}  // namespace distapx::service

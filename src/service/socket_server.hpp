@@ -1,0 +1,129 @@
+// Framed request/response network server in front of the BatchServer.
+//
+// The spool daemon (daemon.hpp) proved the serve path — job file in,
+// cache-backed BatchServer, deterministic rows out — but requires a
+// shared filesystem between producer and server. This subsystem serves
+// the same path over a socket: clients connect to a Unix-domain or
+// localhost-TCP endpoint, speak the length-prefixed framed protocol of
+// net/frame.hpp + net/protocol.hpp, and get back the exact bytes `batch`
+// would have written (summary CSV, runs CSV, report text) in a RESULT
+// frame.
+//
+// Architecture: one I/O thread (the caller of run()) multiplexes the
+// listener, a self-pipe, and every client connection through poll(2),
+// with a per-connection frame-decoding state machine; one executor
+// thread pulls submitted job files off a queue and runs each through a
+// cache-backed BatchServer whose worker pool (`threads`) is shared by
+// all clients. Jobs execute one at a time in arrival order — arrival
+// order affects latency only, never bytes: every RunRow depends on
+// (spec, seed, kEngineVersion) alone, so rows are bit-identical to
+// `distapx_cli batch` at any thread count and any client concurrency
+// (test_socket_server.cpp and the CI socket e2e step assert this).
+//
+// Robustness contract: a malformed or malicious client — garbage magic,
+// an oversized declared length, a mid-frame hangup, a slow-loris partial
+// header — gets a classified ERR (best effort) and its connection
+// closed; the accept loop and every other connection keep serving. A job
+// file that fails to parse or run becomes an ERR payload on that
+// client's connection, which stays usable.
+//
+// Stopping: request_stop() (async-signal-safe: atomic flag + self-pipe
+// write), a SHUTDOWN frame from a client (unless disabled), or
+// max_requests. All three drain gracefully: stop accepting, finish
+// queued jobs, flush responses (bounded by idle_timeout_ms for peers
+// that stop reading), then return from run().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/socket.hpp"
+#include "service/result_cache.hpp"
+#include "support/fdio.hpp"
+
+namespace distapx::service {
+
+struct SocketServerOptions {
+  /// Where to listen; parse with net::parse_endpoint ("HOST:PORT" = TCP,
+  /// anything else = Unix path). TCP port 0 binds an ephemeral port —
+  /// read the real one back from endpoint().
+  net::Endpoint endpoint;
+  /// BatchServer worker threads per job (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// Result-cache directory; empty = serve without a cache.
+  std::string cache_dir;
+  /// Cache byte budget (ResultCache open-with-budget semantics); nonzero
+  /// without cache_dir is a JobError.
+  std::uint64_t cache_budget = 0;
+  /// Cap on one frame's declared payload length; a SUBMIT announcing
+  /// more is rejected from its header alone.
+  std::size_t max_frame_bytes = 16u << 20;
+  /// A connection stalled mid-frame (slow loris) or refusing to read its
+  /// responses is reaped after this long. 0 disables reaping (then a
+  /// drain can block on a peer that never reads — leave it on outside
+  /// tests).
+  std::uint32_t idle_timeout_ms = 30'000;
+  /// Drain after accepting this many SUBMITs (0 = no limit). Bounds a
+  /// server's lifetime for tests and the CI e2e step, like the daemon's
+  /// max_files.
+  std::uint64_t max_requests = 0;
+  /// Whether a SHUTDOWN frame from a client drains the server. On by
+  /// default: the serving tier is a localhost/trusted-LAN tool and
+  /// scripted stops beat kill(1). Disable for longer-lived deployments.
+  bool allow_remote_shutdown = true;
+};
+
+/// Counters over one run(). Everything here is operational telemetry —
+/// the determinism contract covers RESULT payload bytes only.
+struct SocketServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t submits_accepted = 0;
+  std::uint64_t results_ok = 0;
+  std::uint64_t results_error = 0;  ///< ERR replies to well-framed SUBMITs
+  std::uint64_t protocol_errors = 0;  ///< bad frames + mid-frame hangups
+  std::uint64_t timeouts = 0;         ///< idle_timeout_ms reaps
+  std::uint64_t pings = 0;
+  std::uint64_t cache_hits = 0;  ///< summed over served jobs
+  std::uint64_t computed = 0;
+};
+
+class SocketServer {
+ public:
+  /// Opens the listener (and the cache, when configured) immediately, so
+  /// a bad endpoint or cache dir fails here, not mid-serve. Throws
+  /// net::NetError / JobError.
+  explicit SocketServer(SocketServerOptions opts);
+
+  /// Serves until a stop condition, then drains and returns the final
+  /// counters. Call at most once.
+  SocketServerStats run();
+
+  /// Safe from other threads and from signal handlers.
+  void request_stop() noexcept {
+    stop_.store(true);
+    pipe_.poke();
+  }
+
+  [[nodiscard]] bool stop_requested() const noexcept { return stop_.load(); }
+  /// The bound endpoint (ephemeral TCP port resolved).
+  [[nodiscard]] const net::Endpoint& endpoint() const noexcept { return ep_; }
+  [[nodiscard]] const SocketServerOptions& options() const noexcept {
+    return opts_;
+  }
+  /// Null when no cache_dir was configured.
+  [[nodiscard]] ResultCache* cache() noexcept {
+    return cache_ ? &*cache_ : nullptr;
+  }
+
+ private:
+  SocketServerOptions opts_;
+  net::Endpoint ep_;
+  std::optional<net::Listener> listener_;  ///< reset when draining begins
+  std::optional<ResultCache> cache_;       ///< engaged iff cache_dir is set
+  fdio::Pipe pipe_;                        ///< wakes poll from stop/executor
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace distapx::service

@@ -1,0 +1,74 @@
+#include "support/fdio.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace distapx::fdio {
+
+void Fd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool write_fully(int fd, const void* data, std::size_t n) noexcept {
+  const char* p = static_cast<const char*>(data);
+  bool use_send = true;  // flips off on ENOTSOCK (pipes, regular files)
+  while (n > 0) {
+    ssize_t w = use_send ? ::send(fd, p, n, MSG_NOSIGNAL) : ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (use_send && errno == ENOTSOCK) {
+        use_send = false;
+        continue;
+      }
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+ssize_t read_some(int fd, void* buf, std::size_t n) noexcept {
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r < 0 && errno == EINTR) continue;
+    return r;
+  }
+}
+
+Pipe::Pipe() {
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw std::runtime_error(std::string("pipe2: ") + std::strerror(errno));
+  }
+  read_.reset(fds[0]);
+  write_.reset(fds[1]);
+}
+
+void Pipe::poke() noexcept {
+  const char byte = 'x';
+  // A full pipe means a wakeup is already queued; EINTR on this one-byte
+  // write is equally ignorable for the same reason a retry loop would be
+  // wrong in a signal handler context.
+  [[maybe_unused]] const ssize_t w = ::write(write_.get(), &byte, 1);
+}
+
+void Pipe::drain() noexcept {
+  char buf[256];
+  while (::read(read_.get(), buf, sizeof buf) > 0) {
+  }
+}
+
+}  // namespace distapx::fdio

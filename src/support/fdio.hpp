@@ -1,0 +1,83 @@
+// File-descriptor plumbing shared by the networking layer (src/net/).
+//
+// The socket tier deals in raw POSIX fds: listening sockets, accepted
+// connections, and the self-pipe that wakes the server's poll loop from
+// signal handlers and worker threads. These helpers pin down the three
+// things every call site would otherwise re-implement slightly
+// differently: RAII ownership (Fd), EINTR-safe full writes that never
+// raise SIGPIPE (write_fully uses send(MSG_NOSIGNAL) on sockets), and the
+// self-pipe trick (Pipe::poke is async-signal-safe).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace distapx::fdio {
+
+/// Move-only owner of one POSIX fd; closes on destruction (EINTR on
+/// close(2) is ignored — POSIX leaves the fd state unspecified and
+/// retrying can close a recycled descriptor).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  /// Gives up ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// O_NONBLOCK on; returns false on fcntl failure (errno is left set).
+bool set_nonblocking(int fd) noexcept;
+
+/// Writes the whole buffer to a *blocking* fd, retrying on EINTR and
+/// short writes. Sockets are written with send(MSG_NOSIGNAL) so a peer
+/// that hung up yields EPIPE instead of killing the process. Returns
+/// false on error (errno is left set).
+bool write_fully(int fd, const void* data, std::size_t n) noexcept;
+
+/// One read(2), retried on EINTR only. Returns the byte count, 0 on EOF,
+/// -1 on error (including EAGAIN on nonblocking fds; errno distinguishes).
+ssize_t read_some(int fd, void* buf, std::size_t n) noexcept;
+
+/// Self-pipe for waking a poll loop: both ends nonblocking and
+/// close-on-exec. poke() is async-signal-safe (one write(2), full-pipe
+/// overflow deliberately ignored — the wakeup is already pending);
+/// drain() empties the read end.
+class Pipe {
+ public:
+  /// Throws std::runtime_error if pipe2 fails.
+  Pipe();
+
+  [[nodiscard]] int read_fd() const noexcept { return read_.get(); }
+  void poke() noexcept;
+  void drain() noexcept;
+
+ private:
+  Fd read_;
+  Fd write_;
+};
+
+}  // namespace distapx::fdio

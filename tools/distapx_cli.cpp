@@ -9,6 +9,14 @@
 //                     [--quiet]
 //   distapx_cli serve <spool-dir> [--cache-dir DIR] [--cache-budget SIZE]
 //                     [--threads N] [--poll-ms M] [--max-files K] [--once]
+//   distapx_cli serve --listen <path|host:port> [--cache-dir DIR]
+//                     [--cache-budget SIZE] [--threads N] [--max-requests K]
+//                     [--idle-timeout-ms M] [--no-remote-shutdown]
+//   distapx_cli submit <path|host:port> <jobfile> [--summary F] [--runs F]
+//                     [--report F] [--quiet]
+//   distapx_cli submit <path|host:port> {--ping | --stats | --shutdown}
+//   distapx_cli loadgen <path|host:port> <jobfile> [--clients K]
+//                     [--repeat R] [--quiet]
 //   distapx_cli cache <dir> {stats | ls | verify [--quarantine|--delete] |
 //                     gc --budget SIZE | clear}
 //
@@ -31,17 +39,24 @@
 //   --eps E            epsilon for the (2+ε)/(1+ε) algorithms
 //   --maxw W           random integer weights in [1, W] (default 100)
 //   --out FILE         write the solution (ids, one per line)
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/algos.hpp"
 #include "graph/generators.hpp"
 #include "graph/genspec.hpp"
 #include "graph/io.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
 #include "matching/lr_matching.hpp"
 #include "matching/lr_matching_det.hpp"
 #include "matching/mcm_congest.hpp"
@@ -57,8 +72,10 @@
 #include "service/daemon.hpp"
 #include "service/job_spec.hpp"
 #include "service/result_cache.hpp"
+#include "service/socket_server.hpp"
 #include "support/assert.hpp"
 #include "support/parse.hpp"
+#include "support/stats.hpp"
 
 using namespace distapx;
 
@@ -229,11 +246,20 @@ int run_batch(int argc, char** argv) {
   return 0;
 }
 
+int run_serve_socket(int argc, char** argv);
+
 /// `distapx_cli serve <spool-dir>`: the long-lived spool-watching daemon.
 /// Results land in <spool>/done, quarantined files in <spool>/failed; stop
 /// it with SIGINT, `--max-files`, `--once`, or `touch <spool>/stop`.
 int run_serve(int argc, char** argv) {
-  if (argc < 3) usage_error("serve needs a spool directory");
+  if (argc < 3) {
+    usage_error("serve needs a spool directory or --listen <path|host:port>");
+  }
+  // The socket server and the spool daemon are alternative front doors to
+  // the same serve path; --listen anywhere selects the socket server.
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--listen") return run_serve_socket(argc, argv);
+  }
   service::DaemonOptions opts;
   opts.spool_dir = argv[2];
   bool once = false;
@@ -287,6 +313,286 @@ int run_serve(int argc, char** argv) {
   std::cout << reports.size() << " job file(s) served, " << failed
             << " quarantined\n";
   return failed == 0 ? 0 : 1;
+}
+
+std::atomic<service::SocketServer*> g_socket_server{nullptr};
+
+extern "C" void handle_stop_signal(int) {
+  // request_stop is async-signal-safe (atomic store + one pipe write).
+  service::SocketServer* server = g_socket_server.load();
+  if (server != nullptr) server->request_stop();
+}
+
+/// `distapx_cli serve --listen <addr>`: the framed socket server. Same
+/// serve path as the spool daemon (cache-backed BatchServer), but job
+/// files arrive in SUBMIT frames and results return in RESULT frames.
+/// Stop with SIGINT/SIGTERM (graceful drain), `--max-requests`, or a
+/// client's SHUTDOWN frame.
+int run_serve_socket(int argc, char** argv) {
+  service::SocketServerOptions opts;
+  std::string listen_addr;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--listen") {
+      listen_addr = value();
+    } else if (flag == "--cache-dir") {
+      opts.cache_dir = value();
+    } else if (flag == "--cache-budget") {
+      opts.cache_budget = flag_size(flag, value());
+    } else if (flag == "--threads") {
+      opts.threads = static_cast<unsigned>(flag_uint(flag, value(), 1u << 16));
+    } else if (flag == "--max-requests") {
+      opts.max_requests = flag_uint(flag, value());
+    } else if (flag == "--idle-timeout-ms") {
+      opts.idle_timeout_ms =
+          static_cast<std::uint32_t>(flag_uint(flag, value(), 1u << 30));
+    } else if (flag == "--max-frame") {
+      opts.max_frame_bytes = flag_size(flag, value());
+    } else if (flag == "--no-remote-shutdown") {
+      opts.allow_remote_shutdown = false;
+    } else {
+      usage_error("unknown serve --listen flag " + flag);
+    }
+  }
+
+  std::optional<service::SocketServer> server;
+  try {
+    opts.endpoint = net::parse_endpoint(listen_addr);
+    server.emplace(std::move(opts));
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
+  g_socket_server.store(&*server);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  std::cout << "listening on " << server->endpoint().to_string()
+            << (server->options().cache_dir.empty()
+                    ? std::string(" (no cache)")
+                    : " (cache " + server->options().cache_dir + ")")
+            << "\n"
+            << std::flush;
+  const service::SocketServerStats stats = server->run();
+  // Restore default dispositions before the server object dies; a signal
+  // between these lines still sees a live pointer (run() has returned,
+  // so request_stop on it is a harmless no-op).
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_socket_server.store(nullptr);
+  std::cout << "connections_accepted " << stats.connections_accepted << "\n"
+            << "submits_accepted " << stats.submits_accepted << "\n"
+            << "results_ok " << stats.results_ok << "\n"
+            << "results_error " << stats.results_error << "\n"
+            << "protocol_errors " << stats.protocol_errors << "\n"
+            << "timeouts " << stats.timeouts << "\n"
+            << "cache_hits " << stats.cache_hits << "\n"
+            << "computed " << stats.computed << "\n";
+  return 0;
+}
+
+void write_text_or_die(const std::string& path, const std::string& text) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  os << text;
+  os.flush();
+  if (!os) usage_error("cannot write " + path);
+}
+
+/// `distapx_cli submit <addr> <jobfile>`: one request over the socket.
+/// Also the protocol's swiss-army probe: --ping / --stats / --shutdown.
+int run_submit(int argc, char** argv) {
+  if (argc < 4) {
+    usage_error(
+        "submit needs an address and a job file (or --ping / --stats / "
+        "--shutdown)");
+  }
+  const std::string addr = argv[2];
+  const std::string job_arg = argv[3];
+  std::string summary_file, runs_file, report_file;
+  bool quiet = false;
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--summary") {
+      summary_file = value();
+    } else if (flag == "--runs") {
+      runs_file = value();
+    } else if (flag == "--report") {
+      report_file = value();
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else {
+      usage_error("unknown submit flag " + flag);
+    }
+  }
+
+  try {
+    net::Client client = net::Client::connect(net::parse_endpoint(addr));
+    if (job_arg == "--ping") {
+      client.ping();
+      if (!quiet) std::cout << "pong from " << addr << "\n";
+      return 0;
+    }
+    if (job_arg == "--stats") {
+      std::cout << client.stats();
+      return 0;
+    }
+    if (job_arg == "--shutdown") {
+      const auto outcome = client.shutdown();
+      if (!outcome.ok) {
+        std::cerr << "error: " << outcome.error << "\n";
+        return 1;
+      }
+      if (!quiet) std::cout << "server draining\n";
+      return 0;
+    }
+
+    std::ifstream is(job_arg);
+    if (!is) usage_error("cannot read job file " + job_arg);
+    std::ostringstream job_text;
+    job_text << is.rdbuf();
+    const auto outcome = client.submit(job_text.str());
+    if (!outcome.ok) {
+      std::cerr << "error: " << job_arg << ": " << outcome.error << "\n";
+      return 1;
+    }
+    if (!quiet) std::cout << outcome.result.report_txt;
+    write_text_or_die(summary_file, outcome.result.summary_csv);
+    write_text_or_die(runs_file, outcome.result.runs_csv);
+    write_text_or_die(report_file, outcome.result.report_txt);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << addr << ": " << e.what() << "\n";
+    return 1;
+  }
+}
+
+/// `distapx_cli loadgen <addr> <jobfile>`: K concurrent clients, R
+/// submissions each, over one server. Reports throughput and latency and
+/// asserts every response carried bit-identical rows — the wire-level
+/// determinism check run under real client concurrency.
+int run_loadgen(int argc, char** argv) {
+  if (argc < 4) usage_error("loadgen needs an address and a job file");
+  const std::string addr = argv[2];
+  const std::string job_file = argv[3];
+  std::uint64_t clients = 4;
+  std::uint64_t repeat = 4;
+  bool quiet = false;
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--clients") {
+      clients = flag_uint(flag, value(), 4096);
+      if (clients == 0) usage_error("--clients must be positive");
+    } else if (flag == "--repeat") {
+      repeat = flag_uint(flag, value(), 1u << 20);
+      if (repeat == 0) usage_error("--repeat must be positive");
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else {
+      usage_error("unknown loadgen flag " + flag);
+    }
+  }
+
+  std::ifstream is(job_file);
+  if (!is) usage_error("cannot read job file " + job_file);
+  std::ostringstream job_text_os;
+  job_text_os << is.rdbuf();
+  const std::string job_text = job_text_os.str();
+  net::Endpoint endpoint;
+  try {
+    endpoint = net::parse_endpoint(addr);
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
+
+  std::mutex mu;
+  std::vector<double> latencies_ms;  // guarded by mu
+  std::string reference_runs;        // guarded by mu; first response's rows
+  std::uint64_t errors = 0;          // guarded by mu
+  std::uint64_t mismatches = 0;      // guarded by mu
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::uint64_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&] {
+      std::uint64_t finished = 0;
+      try {
+        net::Client client = net::Client::connect(endpoint);
+        for (std::uint64_t r = 0; r < repeat; ++r) {
+          const auto start = std::chrono::steady_clock::now();
+          const auto outcome = client.submit(job_text);
+          const double ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          ++finished;
+          std::lock_guard lock(mu);
+          if (!outcome.ok) {
+            ++errors;
+            continue;
+          }
+          latencies_ms.push_back(ms);
+          if (reference_runs.empty()) {
+            reference_runs = outcome.result.runs_csv;
+          } else if (outcome.result.runs_csv != reference_runs) {
+            ++mismatches;
+          }
+        }
+      } catch (const std::exception&) {
+        // The connection died; only the requests it never completed count
+        // (the ones above were already tallied as ok or error).
+        std::lock_guard lock(mu);
+        errors += repeat - finished;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  Summary lat;
+  for (const double ms : latencies_ms) lat.add(ms);
+  const std::uint64_t ok = latencies_ms.size();
+  if (!quiet) {
+    // percentile() requires a nonempty sample; when every request failed
+    // the latency columns have nothing to say.
+    const auto pct = [&](double q) {
+      return ok == 0 ? std::string("-")
+                     : Table::fmt(percentile(latencies_ms, q), 2);
+    };
+    Table t({"clients", "requests", "ok", "errors", "mismatches", "wall_s",
+             "req_per_s", "lat_mean_ms", "lat_p50_ms", "lat_p95_ms",
+             "lat_max_ms"});
+    t.add_row({Table::fmt(clients), Table::fmt(clients * repeat),
+               Table::fmt(ok), Table::fmt(errors), Table::fmt(mismatches),
+               Table::fmt(wall, 3),
+               Table::fmt(wall > 0 ? static_cast<double>(ok) / wall : 0.0, 1),
+               ok == 0 ? "-" : Table::fmt(lat.mean(), 2), pct(0.5), pct(0.95),
+               ok == 0 ? "-" : Table::fmt(lat.max(), 2)});
+    t.print(std::cout);
+    if (mismatches == 0 && ok > 0) {
+      std::cout << "all " << ok << " responses carried bit-identical rows\n";
+    }
+  }
+  if (mismatches != 0) {
+    std::cerr << "error: " << mismatches
+              << " responses differed from the first response's rows\n";
+    return 1;
+  }
+  return errors == 0 ? 0 : 1;
 }
 
 /// `distapx_cli cache <dir> <command>`: inspect and repair a result-cache
@@ -412,6 +718,16 @@ int main(int argc, char** argv) {
            "       distapx_cli serve <spool-dir> [--cache-dir DIR] "
            "[--cache-budget SIZE] [--threads N] [--poll-ms M] "
            "[--max-files K] [--once]\n"
+           "       distapx_cli serve --listen <path|host:port> "
+           "[--cache-dir DIR] [--cache-budget SIZE] [--threads N] "
+           "[--max-requests K] [--idle-timeout-ms M] [--max-frame SIZE] "
+           "[--no-remote-shutdown]\n"
+           "       distapx_cli submit <path|host:port> <jobfile> "
+           "[--summary F] [--runs F] [--report F] [--quiet]\n"
+           "       distapx_cli submit <path|host:port> "
+           "{--ping | --stats | --shutdown}\n"
+           "       distapx_cli loadgen <path|host:port> <jobfile> "
+           "[--clients K] [--repeat R] [--quiet]\n"
            "       distapx_cli cache <dir> {stats | ls [--limit N] | verify "
            "[--quarantine|--delete] | gc --budget SIZE | clear}\n"
            "algorithms: luby nmis maxis-alg2 maxis-alg3 mwm-lr mwm-lr-det "
@@ -421,6 +737,8 @@ int main(int argc, char** argv) {
   }
   if (std::string(argv[1]) == "batch") return run_batch(argc, argv);
   if (std::string(argv[1]) == "serve") return run_serve(argc, argv);
+  if (std::string(argv[1]) == "submit") return run_submit(argc, argv);
+  if (std::string(argv[1]) == "loadgen") return run_loadgen(argc, argv);
   if (std::string(argv[1]) == "cache") return run_cache(argc, argv);
   Options opt;
   opt.algorithm = argv[1];
