@@ -6,8 +6,8 @@
 
 namespace distapx::net {
 
-Client Client::connect(const Endpoint& ep) {
-  Client client(connect_endpoint(ep));
+Client Client::handshake(fdio::Fd fd) {
+  Client client(std::move(fd));
   client.send(FrameType::kHello, encode_hello());
   const Frame reply = client.receive();
   if (reply.type == FrameType::kError) {
@@ -29,8 +29,24 @@ Client Client::connect(const Endpoint& ep) {
   return client;
 }
 
+Client Client::connect(const Endpoint& ep) {
+  return handshake(connect_endpoint(ep));
+}
+
+Client Client::connect_retry(const Endpoint& ep, std::uint32_t timeout_ms) {
+  return handshake(connect_endpoint_retry(ep, timeout_ms));
+}
+
 SubmitOutcome Client::submit(std::string_view job_file_text) {
+  send_submit(job_file_text);
+  return recv_submit();
+}
+
+void Client::send_submit(std::string_view job_file_text) {
   send(FrameType::kSubmit, job_file_text);
+}
+
+SubmitOutcome Client::recv_submit() {
   const Frame reply = receive();
   SubmitOutcome outcome;
   if (reply.type == FrameType::kError) {

@@ -6,6 +6,12 @@
 // The connection is reusable across requests (the CLI's loadgen driver
 // submits repeatedly over one connection per worker).
 //
+// Pipelining: send_submit()/recv_submit() split the round trip, so a
+// client may keep several SUBMITs in flight on one connection; the
+// server answers them in submit order (its per-connection FIFO
+// contract), so the Nth recv_submit() matches the Nth send_submit().
+// submit() is exactly send_submit() + recv_submit().
+//
 // Failures split into two kinds on purpose:
 //   - transport/protocol trouble (dial failure, connection reset, a frame
 //     that does not decode) throws NetError — the connection is dead;
@@ -38,9 +44,25 @@ class Client {
   /// non-HELLO reply, or a protocol-version mismatch.
   static Client connect(const Endpoint& ep);
 
+  /// connect(), but transient dial failures — the server has not bound
+  /// yet (ENOENT on a Unix path, ECONNREFUSED on TCP) or the listen
+  /// backlog hiccuped (ECONNRESET, ETIMEDOUT) — are retried with
+  /// exponential backoff until ~timeout_ms has elapsed, then the last
+  /// error is thrown. Removes the "sleep until the socket file appears"
+  /// startup race from scripts; timeout_ms = 0 behaves like connect().
+  static Client connect_retry(const Endpoint& ep, std::uint32_t timeout_ms);
+
   /// Submits one job file (its raw bytes). RESULT and ERR are the two
   /// expected replies; anything else throws NetError.
   SubmitOutcome submit(std::string_view job_file_text);
+
+  /// Pipelining half 1: writes one SUBMIT frame without waiting.
+  void send_submit(std::string_view job_file_text);
+
+  /// Pipelining half 2: blocks for the oldest unanswered SUBMIT's
+  /// RESULT/ERR. Call exactly once per send_submit(), in any interleaving
+  /// that never reads ahead of what was sent.
+  SubmitOutcome recv_submit();
 
   /// PING -> kPong round trip; throws NetError on anything else.
   void ping();
@@ -60,6 +82,9 @@ class Client {
 
  private:
   explicit Client(fdio::Fd fd) : fd_(std::move(fd)), reader_(kMaxResponse) {}
+
+  /// HELLO exchange over a freshly dialed fd (shared by both connects).
+  static Client handshake(fdio::Fd fd);
 
   /// Writes one frame; throws NetError on a short write.
   void send(FrameType type, std::string_view payload);

@@ -8,8 +8,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "support/parse.hpp"
 
@@ -173,13 +176,16 @@ fdio::Fd Listener::accept_connection() {
   }
 }
 
-fdio::Fd connect_endpoint(const Endpoint& ep) {
+namespace {
+
+/// One dial attempt; on failure returns an empty Fd with errno set.
+fdio::Fd try_connect(const Endpoint& ep) {
   if (ep.kind == Endpoint::Kind::kUnix) {
     const sockaddr_un addr = unix_addr(ep.path);
     fdio::Fd fd = make_socket(AF_UNIX);
     if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                   sizeof addr) != 0) {
-      throw_errno("connect " + ep.path);
+      return fdio::Fd();
     }
     return fd;
   }
@@ -190,9 +196,42 @@ fdio::Fd connect_endpoint(const Endpoint& ep) {
   fdio::Fd fd = make_socket(AF_INET);
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof addr) != 0) {
-    throw_errno("connect " + ep.to_string());
+    return fdio::Fd();
   }
   return fd;
+}
+
+/// Failures a not-yet-listening or briefly overloaded server produces;
+/// anything else (EACCES, ENETUNREACH, a host that does not resolve...)
+/// will not heal by waiting and fails fast even under retry.
+bool transient_dial_errno(int err) {
+  return err == ECONNREFUSED || err == ENOENT || err == ECONNRESET ||
+         err == ETIMEDOUT || err == EAGAIN || err == EINTR;
+}
+
+}  // namespace
+
+fdio::Fd connect_endpoint(const Endpoint& ep) {
+  fdio::Fd fd = try_connect(ep);
+  if (!fd) throw_errno("connect " + ep.to_string());
+  return fd;
+}
+
+fdio::Fd connect_endpoint_retry(const Endpoint& ep,
+                                std::uint32_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::uint32_t backoff_ms = 1;
+  for (;;) {
+    fdio::Fd fd = try_connect(ep);
+    if (fd) return fd;
+    if (!transient_dial_errno(errno) ||
+        std::chrono::steady_clock::now() >= deadline) {
+      throw_errno("connect " + ep.to_string());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 100u);
+  }
 }
 
 }  // namespace distapx::net

@@ -77,4 +77,12 @@ class Listener {
 /// client protocol is strictly request/response). Throws NetError.
 fdio::Fd connect_endpoint(const Endpoint& ep);
 
+/// connect_endpoint with bounded retry: transient dial failures (the
+/// server not bound/listening yet — ENOENT on a Unix path, ECONNREFUSED
+/// on TCP — plus accept-race resets) back off exponentially (1ms
+/// doubling, capped at 100ms) until ~timeout_ms has elapsed, then the
+/// last error is thrown as NetError. Non-transient errors throw
+/// immediately; timeout_ms = 0 means a single attempt.
+fdio::Fd connect_endpoint_retry(const Endpoint& ep, std::uint32_t timeout_ms);
+
 }  // namespace distapx::net

@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
@@ -12,6 +13,7 @@
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "net/frame.hpp"
@@ -26,6 +28,23 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// A SUBMIT waiting for (or on) a lane.
+struct PendingJob {
+  std::uint64_t conn_id = 0;
+  std::uint64_t conn_seq = 0;   ///< 1-based per-connection submit number
+  std::uint64_t submit_no = 0;  ///< 1-based global arrival number (label)
+  std::string payload;          ///< raw job-file bytes
+};
+
+/// What a lane hands back to the I/O thread.
+struct Completion {
+  std::uint64_t conn_id = 0;
+  std::uint64_t conn_seq = 0;
+  bool ok = false;
+  net::ResultPayload result;  ///< when ok
+  std::string error;          ///< when !ok
+};
+
 /// One client connection's state machine.
 struct Conn {
   fdio::Fd fd;
@@ -34,7 +53,12 @@ struct Conn {
   std::size_t outoff = 0;
   bool closing = false;   ///< flush outbuf, then close
   bool read_eof = false;  ///< peer half-closed; responses may still flow
-  std::uint32_t inflight = 0;  ///< SUBMITs queued/executing for this conn
+  std::uint32_t inflight = 0;  ///< SUBMITs not yet answered on this conn
+  std::uint64_t next_submit_seq = 1;   ///< conn_seq for the next SUBMIT
+  std::uint64_t next_deliver_seq = 1;  ///< conn_seq owed to the peer next
+  /// Completions that finished ahead of their turn (lanes race); drained
+  /// into outbuf strictly in conn_seq order.
+  std::map<std::uint64_t, Completion> ready;
   /// Reap deadline while mid-frame or flushing against a dead-weight
   /// peer; Clock::time_point::max() = no deadline.
   Clock::time_point deadline = Clock::time_point::max();
@@ -47,21 +71,42 @@ struct Conn {
   }
 };
 
-/// A SUBMIT handed to the executor thread.
-struct PendingJob {
-  std::uint64_t conn_id = 0;
-  std::uint64_t seq = 0;  ///< 1-based submission number (report label)
-  std::string payload;    ///< raw job-file bytes
-};
+/// The server's counters, shared between the I/O thread (which renders
+/// STATS frames from them) and the lanes (which bump the completion-side
+/// ones). Relaxed atomics: these are independent monotone counters,
+/// never used to synchronize anything.
+struct Counters {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> submits_accepted{0};
+  std::atomic<std::uint64_t> results_ok{0};
+  std::atomic<std::uint64_t> results_error{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<std::uint64_t> pings{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> computed{0};
+  std::atomic<std::uint64_t> jobs_dropped{0};
 
-/// What the executor hands back to the I/O thread.
-struct Completion {
-  std::uint64_t conn_id = 0;
-  bool ok = false;
-  net::ResultPayload result;  ///< when ok
-  std::string error;          ///< when !ok
-  std::uint64_t cache_hits = 0;
-  std::uint64_t computed = 0;
+  void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
+    c.fetch_add(by, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] SocketServerStats snapshot(unsigned lanes) const {
+    SocketServerStats s;
+    s.connections_accepted =
+        connections_accepted.load(std::memory_order_relaxed);
+    s.submits_accepted = submits_accepted.load(std::memory_order_relaxed);
+    s.results_ok = results_ok.load(std::memory_order_relaxed);
+    s.results_error = results_error.load(std::memory_order_relaxed);
+    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    s.timeouts = timeouts.load(std::memory_order_relaxed);
+    s.pings = pings.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.computed = computed.load(std::memory_order_relaxed);
+    s.jobs_dropped = jobs_dropped.load(std::memory_order_relaxed);
+    s.lanes = lanes;
+    return s;
+  }
 };
 
 /// Nonblocking send; returns bytes written (0 on EAGAIN), -1 on a dead
@@ -74,6 +119,12 @@ ssize_t send_some(int fd, const char* data, std::size_t n) noexcept {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
     return -1;
   }
+}
+
+unsigned effective_lanes(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, std::min(hw, 8u));
 }
 
 }  // namespace
@@ -90,23 +141,36 @@ SocketServer::SocketServer(SocketServerOptions opts)
 }
 
 SocketServerStats SocketServer::run() {
-  SocketServerStats stats;
+  const unsigned lane_count = effective_lanes(opts_.lanes);
+  Counters counters;
 
   std::map<std::uint64_t, Conn> conns;
   std::uint64_t next_conn_id = 1;
   std::uint64_t inflight_total = 0;  ///< jobs enqueued, completion pending
   bool draining = false;
 
-  // ---- executor: runs job files through the cache-backed BatchServer ----
+  // ---- lane scheduler ----------------------------------------------------
+  //
+  // Per-connection FIFO queues plus a round-robin ring of connection ids
+  // with pending work: a lane takes the front job of the front
+  // connection, then rotates that connection to the back of the ring if
+  // it still has work. One connection's jobs run in submit order *start*
+  // order (FIFO within the queue); across connections, a burst from one
+  // client costs everyone else at most one job's wait per lane.
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<PendingJob> queue;           // guarded by mu
-  std::vector<Completion> completions;    // guarded by mu
-  bool executor_exit = false;             // guarded by mu
+  std::map<std::uint64_t, std::deque<PendingJob>> pending;  // guarded by mu
+  std::deque<std::uint64_t> rr_ring;  // conn ids with pending work, each once
+  std::size_t queued = 0;             // guarded by mu
+  std::size_t executing = 0;          // guarded by mu
+  std::vector<Completion> completions;  // guarded by mu
+  bool lanes_exit = false;              // guarded by mu
 
   const auto execute = [this](PendingJob& job) {
     Completion done;
     done.conn_id = job.conn_id;
+    done.conn_seq = job.conn_seq;
+    std::uint64_t hits = 0, computed = 0;
     try {
       std::istringstream is(job.payload);
       BatchOptions batch_opts;
@@ -117,7 +181,7 @@ SocketServerStats SocketServer::run() {
       if (server.num_jobs() == 0) throw JobError("job file contains no jobs");
       const BatchResult result = server.serve();
       const RenderedResult rendered =
-          render_result("submit-" + std::to_string(job.seq), result);
+          render_result("submit-" + std::to_string(job.submit_no), result);
       done.result.summary_csv = rendered.summary_csv;
       done.result.runs_csv = rendered.runs_csv;
       done.result.report_txt = rendered.report_txt;
@@ -131,8 +195,8 @@ SocketServerStats SocketServer::run() {
                        "split the job file");
       }
       done.ok = true;
-      done.cache_hits = result.cache_hits;
-      done.computed = result.computed;
+      hits = result.cache_hits;
+      computed = result.computed;
     } catch (const std::exception& e) {
       // Parse errors (line-numbered JobError), spec errors, and run-time
       // failures (e.g. a CONGEST violation) all become this client's ERR
@@ -140,34 +204,67 @@ SocketServerStats SocketServer::run() {
       done.ok = false;
       done.error = e.what();
     }
-    return done;
+    return std::tuple(std::move(done), hits, computed);
   };
 
-  std::thread executor([&] {
-    for (;;) {
-      PendingJob job;
-      {
-        std::unique_lock lock(mu);
-        cv.wait(lock, [&] { return !queue.empty() || executor_exit; });
-        if (queue.empty()) return;  // executor_exit and nothing left
-        job = std::move(queue.front());
-        queue.pop_front();
+  std::vector<std::thread> lanes;
+  lanes.reserve(lane_count);
+  for (unsigned lane = 0; lane < lane_count; ++lane) {
+    lanes.emplace_back([&] {
+      for (;;) {
+        PendingJob job;
+        {
+          std::unique_lock lock(mu);
+          cv.wait(lock, [&] { return !rr_ring.empty() || lanes_exit; });
+          if (rr_ring.empty()) return;  // lanes_exit and nothing left
+          const std::uint64_t id = rr_ring.front();
+          rr_ring.pop_front();
+          const auto it = pending.find(id);
+          job = std::move(it->second.front());
+          it->second.pop_front();
+          --queued;
+          if (it->second.empty()) {
+            pending.erase(it);
+          } else {
+            rr_ring.push_back(id);  // round-robin: back of the ring
+          }
+          ++executing;
+        }
+        auto [done, hits, computed] = execute(job);
+        // Counted at completion, delivered or not — matching the
+        // pre-lane semantics where a reaped client's finished job still
+        // counted. The drop itself shows up in jobs_dropped.
+        counters.bump(done.ok ? counters.results_ok : counters.results_error);
+        counters.bump(counters.cache_hits, hits);
+        counters.bump(counters.computed, computed);
+        {
+          std::lock_guard lock(mu);
+          --executing;
+          completions.push_back(std::move(done));
+        }
+        pipe_.poke();
       }
-      Completion done = execute(job);
+    });
+  }
+
+  // Join the lanes on every exit path — including a poll() throw — so a
+  // NetError can propagate without std::thread::~thread terminating.
+  struct LaneJoiner {
+    std::mutex& mu;
+    std::condition_variable& cv;
+    bool& lanes_exit;
+    std::vector<std::thread>& lanes;
+    ~LaneJoiner() {
       {
         std::lock_guard lock(mu);
-        completions.push_back(std::move(done));
+        lanes_exit = true;
       }
-      pipe_.poke();
+      cv.notify_all();
+      for (auto& t : lanes) t.join();
     }
-  });
+  } lane_joiner{mu, cv, lanes_exit, lanes};
 
   // ---- I/O-thread helpers ------------------------------------------------
-
-  const auto queue_depth = [&] {
-    std::lock_guard lock(mu);
-    return queue.size();
-  };
 
   const auto enqueue_response = [&](Conn& conn, net::FrameType type,
                                     std::string_view payload) {
@@ -184,6 +281,30 @@ SocketServerStats SocketServer::run() {
     }
   };
 
+  // Tears down a connection that may still own queued/running/buffered
+  // work: queued jobs are discarded unexecuted (a dead conn_id must
+  // never cost lane time), buffered completions die with the conn, and a
+  // job already on a lane gets dropped at delivery instead. Every
+  // erase of `conns` goes through here.
+  const auto erase_conn = [&](std::map<std::uint64_t, Conn>::iterator it) {
+    const std::uint64_t id = it->first;
+    std::size_t purged = 0;
+    {
+      std::lock_guard lock(mu);
+      const auto pit = pending.find(id);
+      if (pit != pending.end()) {
+        purged = pit->second.size();
+        queued -= purged;
+        pending.erase(pit);
+        rr_ring.erase(std::remove(rr_ring.begin(), rr_ring.end(), id),
+                      rr_ring.end());
+      }
+    }
+    counters.bump(counters.jobs_dropped, purged + it->second.ready.size());
+    inflight_total -= purged;
+    return conns.erase(it);
+  };
+
   const auto begin_drain = [&] {
     if (draining) return;
     draining = true;
@@ -194,25 +315,35 @@ SocketServerStats SocketServer::run() {
   };
 
   const auto stats_text = [&] {
+    std::size_t depth = 0, running = 0;
+    {
+      std::lock_guard lock(mu);
+      depth = queued;
+      running = executing;
+    }
+    const SocketServerStats s = counters.snapshot(lane_count);
     std::ostringstream os;
     os << "endpoint " << ep_.to_string() << "\n"
        << "draining " << (draining ? 1 : 0) << "\n"
+       << "lanes " << s.lanes << "\n"
        << "connections_open " << conns.size() << "\n"
-       << "connections_accepted " << stats.connections_accepted << "\n"
-       << "submits_accepted " << stats.submits_accepted << "\n"
-       << "results_ok " << stats.results_ok << "\n"
-       << "results_error " << stats.results_error << "\n"
-       << "protocol_errors " << stats.protocol_errors << "\n"
-       << "timeouts " << stats.timeouts << "\n"
-       << "pings " << stats.pings << "\n"
-       << "cache_hits " << stats.cache_hits << "\n"
-       << "computed " << stats.computed << "\n"
-       << "queue_depth " << queue_depth() << "\n";
+       << "connections_accepted " << s.connections_accepted << "\n"
+       << "submits_accepted " << s.submits_accepted << "\n"
+       << "results_ok " << s.results_ok << "\n"
+       << "results_error " << s.results_error << "\n"
+       << "protocol_errors " << s.protocol_errors << "\n"
+       << "timeouts " << s.timeouts << "\n"
+       << "pings " << s.pings << "\n"
+       << "cache_hits " << s.cache_hits << "\n"
+       << "computed " << s.computed << "\n"
+       << "jobs_dropped " << s.jobs_dropped << "\n"
+       << "queue_depth " << depth << "\n"
+       << "executing " << running << "\n";
     return os.str();
   };
 
   const auto protocol_error = [&](Conn& conn, const std::string& what) {
-    ++stats.protocol_errors;
+    counters.bump(counters.protocol_errors);
     enqueue_response(conn, net::FrameType::kError, "protocol error: " + what);
     begin_close(conn);
   };
@@ -239,7 +370,7 @@ SocketServerStats SocketServer::run() {
         return;
       }
       case net::FrameType::kPing:
-        ++stats.pings;
+        counters.bump(counters.pings);
         enqueue_response(conn, net::FrameType::kPong, {});
         return;
       case net::FrameType::kStatsReq:
@@ -251,17 +382,22 @@ SocketServerStats SocketServer::run() {
                            "server is draining; submit rejected");
           return;
         }
-        ++stats.submits_accepted;
+        const std::uint64_t submit_no =
+            1 + counters.submits_accepted.fetch_add(1,
+                                                    std::memory_order_relaxed);
         ++conn.inflight;
         ++inflight_total;
+        const std::uint64_t conn_seq = conn.next_submit_seq++;
         {
           std::lock_guard lock(mu);
-          queue.push_back(PendingJob{conn_id, stats.submits_accepted,
-                                     std::move(frame.payload)});
+          auto& q = pending[conn_id];
+          if (q.empty()) rr_ring.push_back(conn_id);
+          q.push_back(PendingJob{conn_id, conn_seq, submit_no,
+                                 std::move(frame.payload)});
+          ++queued;
         }
         cv.notify_one();
-        if (opts_.max_requests != 0 &&
-            stats.submits_accepted >= opts_.max_requests) {
+        if (opts_.max_requests != 0 && submit_no >= opts_.max_requests) {
           begin_drain();
         }
         return;
@@ -295,14 +431,14 @@ SocketServerStats SocketServer::run() {
       const ssize_t r = fdio::read_some(conn.fd.get(), buf, sizeof buf);
       if (r < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-        if (conn.reader.mid_frame()) ++stats.protocol_errors;
+        if (conn.reader.mid_frame()) counters.bump(counters.protocol_errors);
         return false;  // reset underneath us
       }
       if (r == 0) {
         conn.read_eof = true;
         if (conn.reader.mid_frame()) {
           // Truncated frame: the peer hung up with a frame half-sent.
-          ++stats.protocol_errors;
+          counters.bump(counters.protocol_errors);
           return false;
         }
         // Clean half-close: finish in-flight work and flush responses
@@ -374,22 +510,29 @@ SocketServerStats SocketServer::run() {
     }
     for (Completion& done : batch) {
       --inflight_total;
-      if (done.ok) {
-        ++stats.results_ok;
-        stats.cache_hits += done.cache_hits;
-        stats.computed += done.computed;
-      } else {
-        ++stats.results_error;
-      }
       const auto it = conns.find(done.conn_id);
-      if (it == conns.end()) continue;  // client left; drop the response
+      if (it == conns.end()) {
+        // Client left while the job ran; nowhere to send the response.
+        counters.bump(counters.jobs_dropped);
+        continue;
+      }
       Conn& conn = it->second;
-      --conn.inflight;
-      if (done.ok) {
-        enqueue_response(conn, net::FrameType::kResult,
-                         net::encode_result(done.result));
-      } else {
-        enqueue_response(conn, net::FrameType::kError, done.error);
+      // Per-connection FIFO: park the completion, then release the head
+      // run — everything whose turn has come goes out in submit order,
+      // however the lanes raced.
+      conn.ready.emplace(done.conn_seq, std::move(done));
+      while (!conn.ready.empty() &&
+             conn.ready.begin()->first == conn.next_deliver_seq) {
+        Completion& head = conn.ready.begin()->second;
+        if (head.ok) {
+          enqueue_response(conn, net::FrameType::kResult,
+                           net::encode_result(head.result));
+        } else {
+          enqueue_response(conn, net::FrameType::kError, head.error);
+        }
+        conn.ready.erase(conn.ready.begin());
+        ++conn.next_deliver_seq;
+        --conn.inflight;
       }
       if ((draining || conn.read_eof) && conn.inflight == 0) {
         begin_close(conn);
@@ -408,7 +551,7 @@ SocketServerStats SocketServer::run() {
     // marked, so a drain with idle clients cannot park in poll forever.
     for (auto it = conns.begin(); it != conns.end();) {
       if (it->second.closing && !it->second.has_output()) {
-        it = conns.erase(it);
+        it = erase_conn(it);
       } else {
         ++it;
       }
@@ -468,7 +611,7 @@ SocketServerStats SocketServer::run() {
         for (;;) {
           fdio::Fd accepted = listener_->accept_connection();
           if (!accepted) break;
-          ++stats.connections_accepted;
+          counters.bump(counters.connections_accepted);
           conns.emplace(next_conn_id++,
                         Conn(std::move(accepted), opts_.max_frame_bytes));
         }
@@ -495,16 +638,16 @@ SocketServerStats SocketServer::run() {
       if (alive &&
           (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) &&
           !(pfds[i].revents & POLLIN)) {
-        if (conn.reader.mid_frame()) ++stats.protocol_errors;
+        if (conn.reader.mid_frame()) counters.bump(counters.protocol_errors);
         alive = false;
       }
       if (alive && conn.deadline != Clock::time_point::max() &&
           Clock::now() >= conn.deadline) {
         // Slow loris (stalled mid-frame) or a closing peer that never
         // drains its responses: classified, counted, reaped.
-        ++stats.timeouts;
+        counters.bump(counters.timeouts);
         if (conn.reader.mid_frame() && !conn.closing) {
-          ++stats.protocol_errors;
+          counters.bump(counters.protocol_errors);
           // Courtesy diagnostic — but only onto an empty output buffer:
           // injecting it after a partially flushed frame would corrupt
           // the peer's byte stream.
@@ -517,18 +660,19 @@ SocketServerStats SocketServer::run() {
         }
         alive = false;
       }
-      if (!alive) conns.erase(it);
+      if (!alive) erase_conn(it);
     }
   }
 
   {
     std::lock_guard lock(mu);
-    executor_exit = true;
+    lanes_exit = true;
   }
-  cv.notify_one();
-  executor.join();
-  deliver_completions();  // completions raced with the drain; count them
-  return stats;
+  cv.notify_all();
+  for (auto& t : lanes) t.join();
+  lanes.clear();  // the joiner must not join twice
+  deliver_completions();  // completions raced with the drain; drop-count them
+  return counters.snapshot(lane_count);
 }
 
 }  // namespace distapx::service

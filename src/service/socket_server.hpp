@@ -11,14 +11,29 @@
 //
 // Architecture: one I/O thread (the caller of run()) multiplexes the
 // listener, a self-pipe, and every client connection through poll(2),
-// with a per-connection frame-decoding state machine; one executor
-// thread pulls submitted job files off a queue and runs each through a
-// cache-backed BatchServer whose worker pool (`threads`) is shared by
-// all clients. Jobs execute one at a time in arrival order — arrival
-// order affects latency only, never bytes: every RunRow depends on
-// (spec, seed, kEngineVersion) alone, so rows are bit-identical to
-// `distapx_cli batch` at any thread count and any client concurrency
-// (test_socket_server.cpp and the CI socket e2e step assert this).
+// with a per-connection frame-decoding state machine; N executor lanes
+// (`lanes`) pull submitted job files from per-connection FIFO queues and
+// run each through a cache-backed BatchServer whose worker pool
+// (`threads`) is shared by all clients.
+//
+// Scheduling is fair, not globally FIFO: lanes pick the next job
+// round-robin across connections, so a client pipelining a burst of
+// sweeps cannot head-of-line-block everyone else — a small job on
+// another connection is picked up by the next free lane. Clients may
+// pipeline (multiple SUBMITs in flight on one connection); responses to
+// one connection always come back in its submit order (completions that
+// finish out of order are buffered and released in sequence), while
+// order *across* connections is unconstrained. None of this affects
+// bytes: every RunRow depends on (spec, seed, kEngineVersion) alone, so
+// rows are bit-identical to `distapx_cli batch` at any thread count,
+// lane count, and client concurrency (test_socket_server.cpp and the CI
+// socket e2e step assert this).
+//
+// When a connection dies with work still queued (idle-timeout reap,
+// mid-frame hangup, protocol error after pipelined SUBMITs), its queued
+// jobs are discarded unexecuted and counted in `jobs_dropped`; a job
+// already running completes on its lane and its response is dropped at
+// delivery. Nothing is ever routed to a reused connection id.
 //
 // Robustness contract: a malformed or malicious client — garbage magic,
 // an oversized declared length, a mid-frame hangup, a slow-loris partial
@@ -52,6 +67,12 @@ struct SocketServerOptions {
   net::Endpoint endpoint;
   /// BatchServer worker threads per job (0 = hardware concurrency).
   unsigned threads = 0;
+  /// Executor lanes: SUBMITs that may execute concurrently. 0 = auto
+  /// (min(hardware concurrency, 8)); an explicit value is honored as
+  /// given (lanes beyond the core count still provide head-of-line
+  /// isolation — a long sweep timeshares instead of serializing).
+  /// Total worker threads can momentarily reach lanes x threads.
+  unsigned lanes = 0;
   /// Result-cache directory; empty = serve without a cache.
   std::string cache_dir;
   /// Cache byte budget (ResultCache open-with-budget semantics); nonzero
@@ -76,17 +97,26 @@ struct SocketServerOptions {
 };
 
 /// Counters over one run(). Everything here is operational telemetry —
-/// the determinism contract covers RESULT payload bytes only.
+/// the determinism contract covers RESULT payload bytes only. This is a
+/// plain snapshot type: internally the server keeps the counters atomic
+/// (lanes bump results_ok/results_error/cache_hits/computed at
+/// completion; the I/O thread owns the rest) and snapshots them for
+/// STATS frames and the run() return value, so readers never race the
+/// writers.
 struct SocketServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t submits_accepted = 0;
-  std::uint64_t results_ok = 0;
+  std::uint64_t results_ok = 0;  ///< completed jobs, delivered or not
   std::uint64_t results_error = 0;  ///< ERR replies to well-framed SUBMITs
   std::uint64_t protocol_errors = 0;  ///< bad frames + mid-frame hangups
   std::uint64_t timeouts = 0;         ///< idle_timeout_ms reaps
   std::uint64_t pings = 0;
   std::uint64_t cache_hits = 0;  ///< summed over served jobs
   std::uint64_t computed = 0;
+  /// Jobs whose connection died first: queued jobs discarded unexecuted
+  /// plus finished jobs whose response had no live connection to go to.
+  std::uint64_t jobs_dropped = 0;
+  unsigned lanes = 0;  ///< effective executor lane count
 };
 
 class SocketServer {

@@ -16,6 +16,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -152,9 +153,11 @@ bool write_raw(int fd, const std::string& bytes) {
 }
 
 /// Polls the server's STATS lines until `line` appears (counters update
-/// asynchronously with respect to raw-client teardown).
+/// asynchronously with respect to raw-client teardown). The window is
+/// generous because some counters only advance once a lane finishes its
+/// current job — an eyeblink in Release, whole seconds under TSan.
 bool stats_line_appears(const net::Endpoint& ep, const std::string& line,
-                        int timeout_ms = 5000) {
+                        int timeout_ms = 30'000) {
   for (int waited = 0; waited < timeout_ms; waited += 20) {
     net::Client client = net::Client::connect(ep);
     if (client.stats().find(line) != std::string::npos) return true;
@@ -185,6 +188,7 @@ TEST(SocketServer, ConcurrentClientsSharingOneCacheGetIdenticalRows) {
   const ScopedTempDir cache_dir("distapx-socket-cache");
   ServerFixture fixture([&](service::SocketServerOptions& o) {
     o.threads = 4;
+    o.lanes = 1;  // serial execution: exact hit accounting below needs it
     o.cache_dir = cache_dir.str();
   });
   const net::ResultPayload reference = direct_reference(kJobs);
@@ -229,6 +233,245 @@ TEST(SocketServer, ConcurrentClientsSharingOneCacheGetIdenticalRows) {
             static_cast<std::uint64_t>(kClients * kRepeats * 7));
   EXPECT_GE(stats.cache_hits, static_cast<std::uint64_t>(
                                   (kClients * kRepeats - 1) * 7));
+}
+
+TEST(SocketServer, RowsAreByteIdenticalAtEveryLaneCount) {
+  const net::ResultPayload reference = direct_reference(kJobs);
+  for (const unsigned lanes : {1u, 2u, 5u}) {
+    ServerFixture fixture(
+        [&](service::SocketServerOptions& o) { o.lanes = lanes; });
+    net::Client client = net::Client::connect(fixture.endpoint());
+    // Pipelined: all three in flight at once, so with lanes > 1 they
+    // really do execute concurrently — and the bytes must not care.
+    for (int k = 0; k < 3; ++k) client.send_submit(kJobs);
+    for (int k = 0; k < 3; ++k) {
+      const net::SubmitOutcome outcome = client.recv_submit();
+      ASSERT_TRUE(outcome.ok) << outcome.error;
+      EXPECT_EQ(outcome.result.runs_csv, reference.runs_csv)
+          << "lanes=" << lanes << " k=" << k;
+      EXPECT_EQ(outcome.result.summary_csv, reference.summary_csv)
+          << "lanes=" << lanes << " k=" << k;
+    }
+    const auto stats = fixture.finish();
+    EXPECT_EQ(stats.lanes, lanes);
+    EXPECT_EQ(stats.results_ok, 3u);
+  }
+}
+
+TEST(SocketServer, PipelinedSubmitsComeBackInSubmitOrderWithTheRightBytes) {
+  // The first job is the slowest by far; on 4 lanes the small ones
+  // finish first, so any ordering bug would surface as a swapped
+  // response. The per-connection FIFO contract must reorder them back.
+  const std::vector<std::string> jobs = {
+      "gen=grid:40:40 algo=mcm-2eps seeds=1:4 eps=0.2 name=slow\n",
+      "gen=path:11 algo=luby seeds=1:2 name=s1\n",
+      "gen=path:12 algo=luby seeds=1:2 name=s2\n",
+      "gen=path:13 algo=luby seeds=1:2 name=s3\n",
+      "gen=path:14 algo=luby seeds=1:2 name=s4\n",
+  };
+  std::vector<net::ResultPayload> references;
+  references.reserve(jobs.size());
+  for (const auto& job : jobs) references.push_back(direct_reference(job));
+
+  ServerFixture fixture([](service::SocketServerOptions& o) {
+    o.lanes = 4;
+    o.threads = 1;
+  });
+  net::Client client = net::Client::connect(fixture.endpoint());
+  for (const auto& job : jobs) client.send_submit(job);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const net::SubmitOutcome outcome = client.recv_submit();
+    ASSERT_TRUE(outcome.ok) << "submit " << i << ": " << outcome.error;
+    EXPECT_EQ(outcome.result.runs_csv, references[i].runs_csv)
+        << "response " << i << " does not match submit " << i;
+    EXPECT_EQ(outcome.result.summary_csv, references[i].summary_csv)
+        << "response " << i;
+  }
+  const auto stats = fixture.finish();
+  EXPECT_EQ(stats.results_ok, jobs.size());
+  EXPECT_EQ(stats.jobs_dropped, 0u);
+}
+
+TEST(SocketServer, SmallJobIsNotHeadOfLineBlockedBehindALongSweep) {
+  // The PR-5 single-executor design ran SUBMITs strictly in arrival
+  // order, so this exact scenario used to cost the small job the whole
+  // sweep's latency. With >= 2 lanes the small job must complete while
+  // the sweep is still running.
+  const char* kLong = "gen=gnp:3000:0.01 algo=luby seeds=1:15 name=sweep\n";
+  const net::ResultPayload small_reference = direct_reference(kJobs);
+  ServerFixture fixture([](service::SocketServerOptions& o) {
+    o.lanes = 2;
+    o.threads = 1;
+  });
+
+  double long_ms = 0;
+  std::string long_error;
+  std::thread sweeper([&] {
+    try {
+      net::Client client = net::Client::connect(fixture.endpoint());
+      const auto t0 = std::chrono::steady_clock::now();
+      const net::SubmitOutcome outcome = client.submit(kLong);
+      long_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+      if (!outcome.ok) long_error = outcome.error;
+    } catch (const std::exception& e) {
+      long_error = e.what();
+    }
+  });
+  // Only start the clock on the small job once the sweep is actually
+  // occupying a lane.
+  ASSERT_TRUE(stats_line_appears(fixture.endpoint(), "executing 1"));
+
+  net::Client client = net::Client::connect(fixture.endpoint());
+  const auto t0 = std::chrono::steady_clock::now();
+  const net::SubmitOutcome outcome = client.submit(kJobs);
+  const double small_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  sweeper.join();
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_TRUE(long_error.empty()) << long_error;
+  EXPECT_EQ(outcome.result.runs_csv, small_reference.runs_csv);
+  // Generous: the small job is a few ms of work, the sweep hundreds.
+  // Even timesharing one core it must come back well before the sweep.
+  EXPECT_LT(small_ms, long_ms * 0.5)
+      << "small job waited for the sweep (small " << small_ms << "ms, sweep "
+      << long_ms << "ms) — head-of-line blocking is back";
+}
+
+TEST(SocketServer, MultiLaneClientsShareTheCacheAndConserveRuns) {
+  const ScopedTempDir cache_dir("distapx-socket-mlcache");
+  ServerFixture fixture([&](service::SocketServerOptions& o) {
+    o.lanes = 4;
+    o.threads = 2;
+    o.cache_dir = cache_dir.str();
+  });
+  const net::ResultPayload reference = direct_reference(kJobs);
+
+  constexpr int kClients = 4;
+  constexpr int kRepeats = 2;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        net::Client client = net::Client::connect(fixture.endpoint());
+        for (int r = 0; r < kRepeats; ++r) {
+          const net::SubmitOutcome outcome = client.submit(kJobs);
+          if (!outcome.ok) {
+            failures[c] = outcome.error;
+            return;
+          }
+          if (outcome.result.runs_csv != reference.runs_csv) {
+            failures[c] = "rows diverged on repeat " + std::to_string(r);
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+  const auto stats = fixture.finish();
+  EXPECT_EQ(stats.results_ok,
+            static_cast<std::uint64_t>(kClients * kRepeats));
+  // Concurrent lanes may each compute a unit the cache does not hold
+  // yet (both then fill the same entry — publication is atomic), so
+  // exact hit counts depend on interleaving. Conservation does not:
+  // every run was either a hit or computed.
+  EXPECT_EQ(stats.cache_hits + stats.computed,
+            static_cast<std::uint64_t>(kClients * kRepeats * 7));
+}
+
+TEST(SocketServer, HangupWithQueuedJobsDropsThemAndOthersKeepBeingServed) {
+  // One lane, so the raw client's second SUBMIT is still queued when the
+  // connection dies mid-frame: the queued job must be discarded without
+  // executing, the running one's response dropped at delivery, and a
+  // healthy client served as if nothing happened.
+  ServerFixture fixture([](service::SocketServerOptions& o) {
+    o.lanes = 1;
+    o.threads = 1;
+  });
+  {
+    fdio::Fd raw = net::connect_endpoint(fixture.endpoint());
+    std::string burst;
+    burst += net::encode_frame(
+        net::FrameType::kSubmit,
+        "gen=grid:60:60 algo=mcm-2eps seeds=1:4 eps=0.2 name=busy\n");
+    burst += net::encode_frame(net::FrameType::kSubmit,
+                               "gen=path:20 algo=luby seeds=1:2 name=queued\n");
+    // ...and half a header, so the hangup is classified mid-frame.
+    burst += net::encode_frame(net::FrameType::kSubmit, "x").substr(0, 6);
+    ASSERT_TRUE(write_raw(raw.get(), burst));
+  }  // hangup
+
+  // Both of the dead client's jobs end up dropped: the queued one purged
+  // unexecuted, the running one at delivery time.
+  EXPECT_TRUE(stats_line_appears(fixture.endpoint(), "jobs_dropped 2"));
+  net::Client client = net::Client::connect(fixture.endpoint());
+  const net::SubmitOutcome outcome = client.submit(kJobs);
+  EXPECT_TRUE(outcome.ok) << outcome.error;
+  const auto stats = fixture.finish();
+  EXPECT_EQ(stats.jobs_dropped, 2u);
+  EXPECT_EQ(stats.protocol_errors, 1u);
+}
+
+TEST(SocketServer, ConnectRetryWaitsOutAServerThatIsStillStarting) {
+  const ScopedTempDir dir("distapx-socket-retry");
+  std::filesystem::create_directories(dir.path);
+  const net::Endpoint ep =
+      net::parse_endpoint((dir.path / "late.sock").string());
+
+  std::string client_error;
+  std::atomic<bool> pinged{false};
+  std::thread early_client([&] {
+    try {
+      // Dialing a path that does not exist yet: ENOENT, retried.
+      net::Client client = net::Client::connect_retry(ep, 10'000);
+      client.ping();
+      pinged.store(true);
+    } catch (const std::exception& e) {
+      client_error = e.what();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ServerFixture fixture(
+      [&](service::SocketServerOptions& o) { o.endpoint = ep; });
+  early_client.join();
+  EXPECT_TRUE(client_error.empty()) << client_error;
+  EXPECT_TRUE(pinged.load());
+}
+
+TEST(SocketServer, ConnectRetryStillFailsWhenNobodyEverListens) {
+  const ScopedTempDir dir("distapx-socket-noretry");
+  std::filesystem::create_directories(dir.path);
+  const net::Endpoint never =
+      net::parse_endpoint((dir.path / "never.sock").string());
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(net::Client::connect_retry(never, 120), net::NetError);
+  const double waited_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+  // It kept trying for about the budget instead of giving up instantly.
+  EXPECT_GE(waited_ms, 100.0);
+}
+
+TEST(SocketServer, ConnectRetryGivesUpOnARefusedTcpPort) {
+  net::Endpoint ep;
+  {
+    // Grab an ephemeral port, then free it: dialing it refuses (with a
+    // tiny chance another process grabs it — then the HELLO fails, which
+    // is still a NetError).
+    net::Listener probe = net::Listener::open(net::parse_endpoint("127.0.0.1:0"));
+    ep = probe.endpoint();
+  }
+  EXPECT_THROW(net::Client::connect_retry(ep, 100), net::NetError);
 }
 
 TEST(SocketServer, MalformedJobFileGetsLineNumberedErrAndSessionSurvives) {
@@ -369,6 +612,8 @@ TEST(SocketServer, PingStatsAndHello) {
   EXPECT_NE(stats.find("pings 2"), std::string::npos) << stats;
   EXPECT_NE(stats.find("connections_accepted 1"), std::string::npos) << stats;
   EXPECT_NE(stats.find("draining 0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("lanes "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("jobs_dropped 0"), std::string::npos) << stats;
 }
 
 TEST(SocketServer, ShutdownFrameDrainsTheServer) {

@@ -10,13 +10,15 @@
 //   distapx_cli serve <spool-dir> [--cache-dir DIR] [--cache-budget SIZE]
 //                     [--threads N] [--poll-ms M] [--max-files K] [--once]
 //   distapx_cli serve --listen <path|host:port> [--cache-dir DIR]
-//                     [--cache-budget SIZE] [--threads N] [--max-requests K]
-//                     [--idle-timeout-ms M] [--no-remote-shutdown]
+//                     [--cache-budget SIZE] [--threads N] [--lanes N]
+//                     [--max-requests K] [--idle-timeout-ms M]
+//                     [--no-remote-shutdown]
 //   distapx_cli submit <path|host:port> <jobfile> [--summary F] [--runs F]
-//                     [--report F] [--quiet]
+//                     [--report F] [--connect-timeout-ms M] [--quiet]
 //   distapx_cli submit <path|host:port> {--ping | --stats | --shutdown}
 //   distapx_cli loadgen <path|host:port> <jobfile> [--clients K]
-//                     [--repeat R] [--quiet]
+//                     [--repeat R] [--pipeline P] [--connect-timeout-ms M]
+//                     [--quiet]
 //   distapx_cli cache <dir> {stats | ls | verify [--quarantine|--delete] |
 //                     gc --budget SIZE | clear}
 //
@@ -42,6 +44,7 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -345,6 +348,8 @@ int run_serve_socket(int argc, char** argv) {
       opts.cache_budget = flag_size(flag, value());
     } else if (flag == "--threads") {
       opts.threads = static_cast<unsigned>(flag_uint(flag, value(), 1u << 16));
+    } else if (flag == "--lanes") {
+      opts.lanes = static_cast<unsigned>(flag_uint(flag, value(), 1u << 10));
     } else if (flag == "--max-requests") {
       opts.max_requests = flag_uint(flag, value());
     } else if (flag == "--idle-timeout-ms") {
@@ -390,7 +395,8 @@ int run_serve_socket(int argc, char** argv) {
             << "protocol_errors " << stats.protocol_errors << "\n"
             << "timeouts " << stats.timeouts << "\n"
             << "cache_hits " << stats.cache_hits << "\n"
-            << "computed " << stats.computed << "\n";
+            << "computed " << stats.computed << "\n"
+            << "jobs_dropped " << stats.jobs_dropped << "\n";
   return 0;
 }
 
@@ -413,6 +419,10 @@ int run_submit(int argc, char** argv) {
   const std::string addr = argv[2];
   const std::string job_arg = argv[3];
   std::string summary_file, runs_file, report_file;
+  // A freshly exec'd server needs a beat to bind; retrying transient
+  // connect failures here removes the "sleep until the socket file
+  // appears" dance from every script that starts a server.
+  std::uint32_t connect_timeout_ms = 5000;
   bool quiet = false;
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -426,6 +436,9 @@ int run_submit(int argc, char** argv) {
       runs_file = value();
     } else if (flag == "--report") {
       report_file = value();
+    } else if (flag == "--connect-timeout-ms") {
+      connect_timeout_ms =
+          static_cast<std::uint32_t>(flag_uint(flag, value(), 1u << 30));
     } else if (flag == "--quiet") {
       quiet = true;
     } else {
@@ -434,7 +447,8 @@ int run_submit(int argc, char** argv) {
   }
 
   try {
-    net::Client client = net::Client::connect(net::parse_endpoint(addr));
+    net::Client client = net::Client::connect_retry(net::parse_endpoint(addr),
+                                                    connect_timeout_ms);
     if (job_arg == "--ping") {
       client.ping();
       if (!quiet) std::cout << "pong from " << addr << "\n";
@@ -475,15 +489,19 @@ int run_submit(int argc, char** argv) {
 }
 
 /// `distapx_cli loadgen <addr> <jobfile>`: K concurrent clients, R
-/// submissions each, over one server. Reports throughput and latency and
-/// asserts every response carried bit-identical rows — the wire-level
-/// determinism check run under real client concurrency.
+/// submissions each, over one server. `--pipeline P` keeps up to P
+/// SUBMITs in flight per connection (the server answers each connection
+/// in submit order). Reports throughput and latency and asserts every
+/// response carried bit-identical rows — the wire-level determinism
+/// check run under real client concurrency.
 int run_loadgen(int argc, char** argv) {
   if (argc < 4) usage_error("loadgen needs an address and a job file");
   const std::string addr = argv[2];
   const std::string job_file = argv[3];
   std::uint64_t clients = 4;
   std::uint64_t repeat = 4;
+  std::uint64_t pipeline = 1;
+  std::uint32_t connect_timeout_ms = 5000;
   bool quiet = false;
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -497,6 +515,12 @@ int run_loadgen(int argc, char** argv) {
     } else if (flag == "--repeat") {
       repeat = flag_uint(flag, value(), 1u << 20);
       if (repeat == 0) usage_error("--repeat must be positive");
+    } else if (flag == "--pipeline") {
+      pipeline = flag_uint(flag, value(), 1u << 16);
+      if (pipeline == 0) usage_error("--pipeline must be positive");
+    } else if (flag == "--connect-timeout-ms") {
+      connect_timeout_ms =
+          static_cast<std::uint32_t>(flag_uint(flag, value(), 1u << 30));
     } else if (flag == "--quiet") {
       quiet = true;
     } else {
@@ -529,14 +553,26 @@ int run_loadgen(int argc, char** argv) {
     workers.emplace_back([&] {
       std::uint64_t finished = 0;
       try {
-        net::Client client = net::Client::connect(endpoint);
-        for (std::uint64_t r = 0; r < repeat; ++r) {
-          const auto start = std::chrono::steady_clock::now();
-          const auto outcome = client.submit(job_text);
+        net::Client client = net::Client::connect_retry(endpoint,
+                                                        connect_timeout_ms);
+        // Sliding pipeline window: keep up to `pipeline` SUBMITs in
+        // flight; each response is matched to the oldest outstanding
+        // send (per-connection FIFO), so latency covers queueing at the
+        // server — the number a real pipelined consumer experiences.
+        std::deque<std::chrono::steady_clock::time_point> sent_at;
+        std::uint64_t submitted = 0;
+        while (finished < repeat) {
+          while (submitted < repeat && submitted - finished < pipeline) {
+            client.send_submit(job_text);
+            sent_at.push_back(std::chrono::steady_clock::now());
+            ++submitted;
+          }
+          const auto outcome = client.recv_submit();
           const double ms =
               std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - start)
+                  std::chrono::steady_clock::now() - sent_at.front())
                   .count();
+          sent_at.pop_front();
           ++finished;
           std::lock_guard lock(mu);
           if (!outcome.ok) {
@@ -720,14 +756,16 @@ int main(int argc, char** argv) {
            "[--max-files K] [--once]\n"
            "       distapx_cli serve --listen <path|host:port> "
            "[--cache-dir DIR] [--cache-budget SIZE] [--threads N] "
-           "[--max-requests K] [--idle-timeout-ms M] [--max-frame SIZE] "
-           "[--no-remote-shutdown]\n"
+           "[--lanes N] [--max-requests K] [--idle-timeout-ms M] "
+           "[--max-frame SIZE] [--no-remote-shutdown]\n"
            "       distapx_cli submit <path|host:port> <jobfile> "
-           "[--summary F] [--runs F] [--report F] [--quiet]\n"
+           "[--summary F] [--runs F] [--report F] "
+           "[--connect-timeout-ms M] [--quiet]\n"
            "       distapx_cli submit <path|host:port> "
            "{--ping | --stats | --shutdown}\n"
            "       distapx_cli loadgen <path|host:port> <jobfile> "
-           "[--clients K] [--repeat R] [--quiet]\n"
+           "[--clients K] [--repeat R] [--pipeline P] "
+           "[--connect-timeout-ms M] [--quiet]\n"
            "       distapx_cli cache <dir> {stats | ls [--limit N] | verify "
            "[--quarantine|--delete] | gc --budget SIZE | clear}\n"
            "algorithms: luby nmis maxis-alg2 maxis-alg3 mwm-lr mwm-lr-det "
