@@ -1,0 +1,71 @@
+// Minimal HTTP/1.0 admin endpoint for a serving process.
+//
+// Two routes, both GET, both close-after-response:
+//
+//   /metrics  -> 200, Prometheus text exposition (version 0.0.4) of the
+//                process registry's snapshot at scrape time
+//   /healthz  -> 200 "ok" when serving; 503 "draining" once drain has
+//                begun; 503 "starting" before the serving loop is up.
+//                Health is read from the registry's `ready` / `draining`
+//                gauges, which the socket server / daemon maintain — the
+//                admin plane holds no state of its own.
+//
+// The server runs one dedicated thread with its own poll(2) loop (the
+// same listener/self-pipe primitives as the socket server), so /metrics
+// stays scrapeable while every executor lane is busy — that is the point
+// of an admin plane. HTTP support is deliberately narrow: GET only,
+// request line + headers parsed just enough to route, 8 KiB request cap,
+// idle connections reaped. Anything unexpected gets a plain-status
+// response and the connection closed; this endpoint is for curl and
+// scrapers on a trusted interface, not browsers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+#include "support/metrics.hpp"
+
+namespace distapx::net {
+
+struct AdminOptions {
+  std::string endpoint;  ///< "HOST:PORT" (port 0 ok) or a Unix socket path
+  metrics::Registry* registry = nullptr;  ///< required; not owned
+  std::uint32_t max_request_bytes = 8192;
+  std::uint32_t idle_timeout_ms = 10000;
+};
+
+class AdminServer {
+ public:
+  /// Binds the endpoint (throws NetError on failure) but serves nothing
+  /// until start().
+  explicit AdminServer(AdminOptions opts);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// The bound endpoint — for TCP port 0 this carries the real port.
+  [[nodiscard]] const Endpoint& endpoint() const noexcept;
+
+  /// Spawns the serving thread. Call at most once.
+  void start();
+  /// Wakes the loop, joins the thread, closes all connections. Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Routing + response formatting, factored out of the socket loop so the
+/// tests can drive it with plain strings. `request` is everything up to
+/// (not necessarily including) the blank line; returns the full HTTP
+/// response bytes.
+std::string admin_handle_request(std::string_view request,
+                                 const metrics::Registry& registry);
+
+}  // namespace distapx::net

@@ -235,10 +235,38 @@ BatchResult BatchServer::serve() {
   const unsigned workers = sim::resolve_threads(opts_.threads, units.size());
   const auto start = std::chrono::steady_clock::now();
 
+  // Metrics land in the caller's registry when one is wired (the serving
+  // tiers), or in this throwaway when not (pure batch runs) — either way
+  // the hot loop below is branch-free on instrumentation.
+  metrics::Registry local_registry;
+  metrics::Registry& reg =
+      opts_.registry != nullptr ? *opts_.registry : local_registry;
+  metrics::Counter& runs_total = reg.counter("runs_total");
+  metrics::Counter& runs_computed = reg.counter("runs_computed_total");
+  // Per-job histogram handles resolved once, outside the unit loop: the
+  // registry lookup (mutex + map walk) must not sit on the per-seed path.
+  std::vector<metrics::Histogram*> job_hist(jobs_.size());
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    job_hist[j] = &reg.histogram(
+        "run_latency_ms{algo=\"" + jobs_[j].spec.algorithm + "\"}",
+        metrics::default_latency_buckets_ms());
+  }
+
   std::atomic<std::size_t> next{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::mutex error_mu;
   std::exception_ptr error;
+  auto timed_dispatch = [&](const ResolvedJob& job, NetworkLease& lease,
+                            std::uint64_t seed, std::uint32_t job_index) {
+    const auto t0 = std::chrono::steady_clock::now();
+    RunRow row = dispatch(job, lease, seed);
+    job_hist[job_index]->observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    runs_computed.inc();
+    return row;
+  };
   auto drain = [&] {
     NetworkLease lease;  // one reusable Network per worker
     for (;;) {
@@ -248,6 +276,7 @@ BatchResult BatchServer::serve() {
       const ResolvedJob& job = jobs_[u.job];
       try {
         const std::uint64_t seed = job.spec.seed_at(u.run);
+        runs_total.inc();
         if (opts_.cache != nullptr) {
           const Fingerprint key =
               run_fingerprint(job.cache_key_prefix, seed);
@@ -256,7 +285,7 @@ BatchResult BatchServer::serve() {
             cache_hits.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
-          rows[u.job][u.run] = dispatch(job, lease, seed);
+          rows[u.job][u.run] = timed_dispatch(job, lease, seed, u.job);
           try {
             opts_.cache->store(key, rows[u.job][u.run]);
           } catch (const JobError&) {
@@ -266,7 +295,7 @@ BatchResult BatchServer::serve() {
             // batch. The next lookup of this key simply misses again.
           }
         } else {
-          rows[u.job][u.run] = dispatch(job, lease, seed);
+          rows[u.job][u.run] = timed_dispatch(job, lease, seed, u.job);
         }
       } catch (...) {
         {

@@ -25,6 +25,7 @@
 #include "service/job_spec.hpp"
 #include "sim/network.hpp"
 #include "support/fingerprint.hpp"
+#include "support/metrics.hpp"
 #include "support/table.hpp"
 
 namespace distapx::service {
@@ -121,6 +122,11 @@ struct BatchOptions {
   /// argument, the CLI's --cache-budget) to keep it LRU-bounded while
   /// serving. Not owned; must outlive serve().
   ResultCache* cache = nullptr;
+  /// Metrics destination: per-algorithm run_latency_ms histograms and the
+  /// runs_total / runs_computed_total counters. Null = metrics are
+  /// dropped (pure batch CLI runs pay nothing); the serving tiers pass
+  /// their process registry. Not owned; must outlive serve().
+  metrics::Registry* registry = nullptr;
 };
 
 /// Shards submitted jobs into per-seed work units and serves them over one

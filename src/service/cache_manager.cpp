@@ -34,7 +34,29 @@ bool is_metadata_path(const fs::path& p, const fs::path& quarantine) {
 
 }  // namespace
 
-CacheManager::CacheManager(std::string dir) : dir_(std::move(dir)) {
+namespace {
+
+/// The shared registry when one was passed, else a lazily-created private
+/// one — instrumentation stays unconditional with no null checks on the
+/// hot path. Idempotent so each member initializer can call it.
+metrics::Registry& ensure_registry(metrics::Registry* shared,
+                                   std::unique_ptr<metrics::Registry>& own) {
+  if (shared != nullptr) return *shared;
+  if (!own) own = std::make_unique<metrics::Registry>();
+  return *own;
+}
+
+}  // namespace
+
+CacheManager::CacheManager(std::string dir, metrics::Registry* registry)
+    : dir_(std::move(dir)),
+      reg_(&ensure_registry(registry, own_registry_)),
+      entries_gauge_(reg_->gauge("cache_entries")),
+      bytes_gauge_(reg_->gauge("cache_bytes")),
+      manifest_bytes_gauge_(reg_->gauge("cache_manifest_bytes")),
+      quarantined_gauge_(reg_->gauge("cache_quarantined")),
+      evicted_entries_(reg_->counter("cache_evicted_entries_total")),
+      evicted_bytes_(reg_->counter("cache_evicted_bytes_total")) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_)) {
@@ -95,6 +117,12 @@ void CacheManager::scan_locked() {
       it->second.last_access = next_access_++;
     }
   }
+  publish_gauges_locked();
+}
+
+void CacheManager::publish_gauges_locked() noexcept {
+  entries_gauge_.set(static_cast<std::int64_t>(entries_.size()));
+  bytes_gauge_.set(static_cast<std::int64_t>(live_bytes_));
 }
 
 void CacheManager::buffer_journal_locked(ManifestRecord record) {
@@ -127,6 +155,7 @@ void CacheManager::record_put(const Fingerprint& key, std::uint64_t size) {
   live_bytes_ += size - e.size;  // same-key refill replaces, not adds
   e.size = size;
   e.last_access = next_access_++;
+  publish_gauges_locked();
   buffer_journal_locked({"F", {hex, std::to_string(size)}});
 }
 
@@ -143,6 +172,7 @@ void CacheManager::record_get(const Fingerprint& key) {
     if (ec) return;  // raced with an eviction; nothing to track
     it = entries_.emplace(hex, Entry{size, 0}).first;
     live_bytes_ += size;
+    publish_gauges_locked();
   }
   it->second.last_access = next_access_++;
   buffer_journal_locked({"T", {hex}});
@@ -200,6 +230,21 @@ CacheDirStats CacheManager::stats() const {
        it.increment(ec)) {
     if (it->is_regular_file(ec)) ++s.quarantined;
   }
+  // The walk-derived series are only as fresh as the last stats() call;
+  // entries/bytes stay live via publish_gauges_locked.
+  manifest_bytes_gauge_.set(static_cast<std::int64_t>(s.manifest_bytes));
+  quarantined_gauge_.set(static_cast<std::int64_t>(s.quarantined));
+  return s;
+}
+
+CacheDirStats cache_dir_stats_from(const metrics::Snapshot& snap) {
+  CacheDirStats s;
+  s.entries = static_cast<std::uint64_t>(snap.gauge_or("cache_entries"));
+  s.bytes = static_cast<std::uint64_t>(snap.gauge_or("cache_bytes"));
+  s.manifest_bytes =
+      static_cast<std::uint64_t>(snap.gauge_or("cache_manifest_bytes"));
+  s.quarantined =
+      static_cast<std::uint64_t>(snap.gauge_or("cache_quarantined"));
   return s;
 }
 
@@ -222,7 +267,12 @@ GcReport CacheManager::gc(std::uint64_t budget_bytes) {
     ++report.evicted_entries;
     report.evicted_bytes += e.size;
   }
-  if (report.evicted_entries > 0) compact_manifest_locked();
+  if (report.evicted_entries > 0) {
+    evicted_entries_.inc(report.evicted_entries);
+    evicted_bytes_.inc(report.evicted_bytes);
+    compact_manifest_locked();
+  }
+  publish_gauges_locked();
   report.live_entries = entries_.size();
   report.live_bytes = live_bytes_;
   return report;
@@ -314,6 +364,7 @@ VerifyReport CacheManager::verify(RepairMode mode) {
   if (mode != RepairMode::kReport && report.invalid > 0) {
     compact_manifest_locked();
   }
+  publish_gauges_locked();
   return report;
 }
 
@@ -327,6 +378,7 @@ std::uint64_t CacheManager::clear() {
   entries_.clear();
   live_bytes_ = 0;
   next_access_ = 1;
+  publish_gauges_locked();
   pending_journal_.clear();
   journal_records_ = 0;
   std::error_code ec;

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -42,6 +43,7 @@
 #include "service/result_cache.hpp"
 #include "support/fingerprint.hpp"
 #include "support/manifest.hpp"
+#include "support/metrics.hpp"
 
 namespace distapx::service {
 
@@ -61,6 +63,12 @@ struct CacheDirStats {
   std::uint64_t manifest_bytes = 0; ///< journal size on disk
   std::uint64_t quarantined = 0;    ///< files under <dir>/quarantine/
 };
+
+/// The CacheDirStats a registry snapshot implies (gauges cache_entries,
+/// cache_bytes, cache_manifest_bytes, cache_quarantined). stats() refreshes
+/// the disk-derived gauges before they are read, so `cache stats` renders
+/// from the same snapshot as every other surface.
+CacheDirStats cache_dir_stats_from(const metrics::Snapshot& snap);
 
 /// Outcome of one gc() pass.
 struct GcReport {
@@ -99,7 +107,12 @@ class CacheManager {
   /// Scans `dir` for entries and replays the manifest to recover LRU
   /// order. The directory is created if absent (so `cache stats` on a
   /// fresh path works); throws JobError when it cannot be.
-  explicit CacheManager(std::string dir);
+  ///
+  /// `registry` receives the cache_entries/cache_bytes gauges and the
+  /// eviction counters (null -> a private registry; instrumentation is
+  /// unconditional either way). Not owned; must outlive the manager.
+  explicit CacheManager(std::string dir,
+                        metrics::Registry* registry = nullptr);
 
   /// Flushes buffered journal appends.
   ~CacheManager();
@@ -133,7 +146,12 @@ class CacheManager {
   /// key hex, so the order is deterministic).
   [[nodiscard]] std::vector<CacheEntryInfo> entries_lru() const;
 
+  /// Also publishes the manifest/quarantine gauges (the walk happens here
+  /// anyway), so a snapshot taken right after carries all four series.
   [[nodiscard]] CacheDirStats stats() const;
+
+  /// The registry this manager instruments (configured or private).
+  [[nodiscard]] metrics::Registry& registry() noexcept { return *reg_; }
 
   /// Evicts least-recently-used entries until live_bytes() <= budget.
   /// Unlinks are atomic and tolerant of entries a concurrent process
@@ -168,6 +186,9 @@ class CacheManager {
   static constexpr std::size_t kJournalFlushBatch = 64;
 
   void scan_locked();
+  /// Publishes entries_/live_bytes_ to the cache_entries / cache_bytes
+  /// gauges; call after any change to the live accounting.
+  void publish_gauges_locked() noexcept;
   void buffer_journal_locked(ManifestRecord record);
   void flush_journal_locked();
   void compact_manifest_locked();
@@ -176,6 +197,16 @@ class CacheManager {
       const;
 
   std::string dir_;
+  /// Fallback registry (see constructor); declared before the metric
+  /// references that bind to it.
+  std::unique_ptr<metrics::Registry> own_registry_;
+  metrics::Registry* reg_ = nullptr;
+  metrics::Gauge& entries_gauge_;
+  metrics::Gauge& bytes_gauge_;
+  metrics::Gauge& manifest_bytes_gauge_;
+  metrics::Gauge& quarantined_gauge_;
+  metrics::Counter& evicted_entries_;
+  metrics::Counter& evicted_bytes_;
   mutable std::mutex mu_;
   /// key hex -> metadata. std::map keeps deterministic iteration for the
   /// hex tie-break in eviction order.

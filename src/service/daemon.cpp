@@ -4,12 +4,14 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 #include "service/batch_server.hpp"
 #include "service/job_spec.hpp"
 #include "service/report_sink.hpp"
 #include "support/fsutil.hpp"
+#include "support/log.hpp"
 
 namespace distapx::service {
 
@@ -52,11 +54,17 @@ void write_text(const fs::path& path, const std::string& text) {
 
 Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {
   if (opts_.spool_dir.empty()) throw JobError("daemon needs a spool dir");
+  if (opts_.registry != nullptr) {
+    reg_ = opts_.registry;
+  } else {
+    own_registry_ = std::make_unique<metrics::Registry>();
+    reg_ = own_registry_.get();
+  }
   ensure_dir(opts_.spool_dir);
   ensure_dir(opts_.spool_dir + "/done");
   ensure_dir(opts_.spool_dir + "/failed");
   if (!opts_.cache_dir.empty()) {
-    cache_.emplace(opts_.cache_dir, opts_.cache_budget);
+    cache_.emplace(opts_.cache_dir, opts_.cache_budget, reg_);
   } else if (opts_.cache_budget != 0) {
     throw JobError("cache_budget needs a cache_dir");
   }
@@ -73,6 +81,7 @@ JobFileReport Daemon::process_file(const std::string& path) {
     BatchOptions batch_opts;
     batch_opts.threads = opts_.threads;
     batch_opts.cache = cache();
+    batch_opts.registry = reg_;
     BatchServer server(batch_opts);
     server.submit_all(load_job_file(path));
     if (server.num_jobs() == 0) throw JobError("job file contains no jobs");
@@ -95,11 +104,19 @@ JobFileReport Daemon::process_file(const std::string& path) {
     write_text(done / (report.name + ".runs.csv"), rendered.runs_csv);
     write_text(done / (report.name + ".report.txt"), rendered.report_txt);
     move_file(job_path, done / job_path.filename());
+    reg_->counter("spool_files_served_total").inc();
+    logx::info("job_file_served", {{"file", report.name},
+                                   {"runs", report.runs},
+                                   {"cache_hits", report.cache_hits},
+                                   {"computed", report.computed}});
   } catch (const std::exception& e) {
     // Quarantine: the diagnostic (with its line number, for parse errors)
     // lands next to the offending file and the daemon keeps serving.
     report.ok = false;
     report.error = e.what();
+    reg_->counter("spool_files_quarantined_total").inc();
+    logx::warn("job_file_quarantined",
+               {{"file", report.name}, {"err", report.error}});
     try {
       write_text(failed / (report.name + ".error"), report.error + "\n");
       move_file(job_path, failed / job_path.filename());
@@ -150,6 +167,10 @@ std::vector<JobFileReport> Daemon::run() {
   const fs::path sentinel = fs::path(opts_.spool_dir) / "stop";
   std::vector<JobFileReport> all;
   std::uint32_t wait_ms = 0;  // backoff state; 0 = just saw activity
+  // /healthz on an admin endpoint sharing this registry reads these.
+  metrics::Gauge& ready = reg_->gauge("ready");
+  ready.set(1);
+  logx::info("daemon_started", {{"spool", opts_.spool_dir}});
   for (;;) {
     std::error_code ec;
     if (fs::exists(sentinel, ec)) {
@@ -168,6 +189,8 @@ std::vector<JobFileReport> Daemon::run() {
     if (opts_.max_files != 0 && served_ >= opts_.max_files) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
   }
+  ready.set(0);
+  logx::info("daemon_stopped", {{"served", served_}});
   return all;
 }
 

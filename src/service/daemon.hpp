@@ -64,6 +64,10 @@ struct DaemonOptions {
   /// Stop after serving this many job files (0 = no limit). Lets tests and
   /// one-shot CLI invocations bound the daemon's lifetime.
   std::uint64_t max_files = 0;
+  /// Metrics destination, shared with the cache and batch servers; the
+  /// CLI passes the process registry so --admin scrapes the daemon too.
+  /// Null -> a private registry. Not owned; must outlive the daemon.
+  metrics::Registry* registry = nullptr;
 };
 
 /// Outcome of one job file, as recorded in done/NAME.report.txt.
@@ -117,9 +121,15 @@ class Daemon {
   [[nodiscard]] ResultCache* cache() noexcept {
     return cache_ ? &*cache_ : nullptr;
   }
+  /// The registry this daemon instruments (configured or private).
+  [[nodiscard]] metrics::Registry& registry() noexcept { return *reg_; }
 
  private:
   DaemonOptions opts_;
+  /// Fallback when options carried no registry; before cache_ so the
+  /// cache can share it.
+  std::unique_ptr<metrics::Registry> own_registry_;
+  metrics::Registry* reg_ = nullptr;
   std::optional<ResultCache> cache_;  ///< engaged iff cache_dir is set
   std::atomic<bool> stop_{false};
   std::uint64_t served_ = 0;

@@ -214,8 +214,41 @@ Fingerprint run_fingerprint(Fingerprinter job_prefix, std::uint64_t seed) {
   return job_prefix.digest();
 }
 
-ResultCache::ResultCache(std::string dir, std::uint64_t budget_bytes)
-    : dir_(std::move(dir)), budget_bytes_(budget_bytes) {
+namespace {
+
+/// Shared registry when passed, lazily-created private one otherwise, so
+/// the counter references below always bind and the hot path never null-
+/// checks. Idempotent across member initializers.
+metrics::Registry& ensure_registry(metrics::Registry* shared,
+                                   std::unique_ptr<metrics::Registry>& own) {
+  if (shared != nullptr) return *shared;
+  if (!own) own = std::make_unique<metrics::Registry>();
+  return *own;
+}
+
+}  // namespace
+
+CacheStats cache_stats_from(const metrics::Snapshot& snap) {
+  CacheStats s;
+  s.hits = snap.counter_or("cache_hits_total");
+  s.misses = snap.counter_or("cache_misses_total");
+  s.stores = snap.counter_or("cache_stores_total");
+  s.rejected = snap.counter_or("cache_rejected_total");
+  return s;
+}
+
+ResultCache::ResultCache(std::string dir, std::uint64_t budget_bytes,
+                         metrics::Registry* registry)
+    : dir_(std::move(dir)),
+      budget_bytes_(budget_bytes),
+      hits_(ensure_registry(registry, own_registry_)
+                .counter("cache_hits_total")),
+      misses_(ensure_registry(registry, own_registry_)
+                  .counter("cache_misses_total")),
+      stores_(ensure_registry(registry, own_registry_)
+                  .counter("cache_stores_total")),
+      rejected_(ensure_registry(registry, own_registry_)
+                    .counter("cache_rejected_total")) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_)) {
@@ -223,7 +256,8 @@ ResultCache::ResultCache(std::string dir, std::uint64_t budget_bytes)
                    ec.message());
   }
   if (budget_bytes_ > 0) {
-    manager_ = std::make_unique<CacheManager>(dir_);
+    manager_ = std::make_unique<CacheManager>(
+        dir_, registry != nullptr ? registry : own_registry_.get());
     // Enforce immediately: a cache opened with a budget is within budget
     // before the first lookup, whatever a previous (possibly unbudgeted)
     // writer left behind.
@@ -241,7 +275,7 @@ std::optional<RunRow> ResultCache::lookup(const Fingerprint& key) {
   RunRow row;
   const EntryStatus status = check_entry_file(entry_path(key), key, &row);
   if (status == EntryStatus::kOk) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.inc();
     if (manager_) {
       manager_->record_get(key);
       // record_get can *grow* the accounting: it adopts entries another
@@ -257,9 +291,9 @@ std::optional<RunRow> ResultCache::lookup(const Fingerprint& key) {
     // The entry existed but failed validation: corrupt, truncated, or a
     // stale version. Count it separately — a burst of rejects after an
     // engine bump is expected, a burst during steady state is not.
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.inc();
   return std::nullopt;
 }
 
@@ -289,7 +323,7 @@ void ResultCache::store(const Fingerprint& key, const RunRow& row) {
     throw JobError("cannot publish cache entry " + path + ": " +
                    ec.message());
   }
-  stores_.fetch_add(1, std::memory_order_relaxed);
+  stores_.inc();
   if (manager_) {
     manager_->record_put(key, buf.size());
     // Re-enforce on every fill so a long-lived budgeted cache (the spool
@@ -309,19 +343,23 @@ void ResultCache::enforce_budget() {
 }
 
 CacheStats ResultCache::stats() const noexcept {
+  // Registry counters are monotone (and possibly shared with other
+  // components in the same process), so "since reset_stats()" is the
+  // counter minus the baseline captured at the last reset.
   CacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.stores = stores_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.hits = hits_.value() - base_hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.value() - base_misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.value() - base_stores_.load(std::memory_order_relaxed);
+  s.rejected =
+      rejected_.value() - base_rejected_.load(std::memory_order_relaxed);
   return s;
 }
 
 void ResultCache::reset_stats() noexcept {
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  stores_.store(0, std::memory_order_relaxed);
-  rejected_.store(0, std::memory_order_relaxed);
+  base_hits_.store(hits_.value(), std::memory_order_relaxed);
+  base_misses_.store(misses_.value(), std::memory_order_relaxed);
+  base_stores_.store(stores_.value(), std::memory_order_relaxed);
+  base_rejected_.store(rejected_.value(), std::memory_order_relaxed);
 }
 
 }  // namespace distapx::service

@@ -37,6 +37,7 @@
 #include "service/batch_server.hpp"
 #include "service/job_spec.hpp"
 #include "support/fingerprint.hpp"
+#include "support/metrics.hpp"
 
 namespace distapx::service {
 
@@ -63,13 +64,21 @@ Fingerprint run_fingerprint(Fingerprinter job_prefix, std::uint64_t seed);
 
 /// Counters since construction / reset_stats(). `rejected` counts entries
 /// that existed but failed validation (corrupt, truncated, version
-/// mismatch) and were treated as misses.
+/// mismatch) and were treated as misses. A typed view over the metrics
+/// registry's cache_* counters (see cache_stats_from) — the registry is
+/// the single source of truth; this struct exists so call sites keep a
+/// plain-integer API.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
   std::uint64_t rejected = 0;
 };
+
+/// The CacheStats a registry snapshot implies (cache_hits_total and
+/// friends). The STATS frame, `cache stats`, and /metrics all derive
+/// from the same counters, so the surfaces cannot disagree.
+CacheStats cache_stats_from(const metrics::Snapshot& snap);
 
 // ---- entry-file machinery (shared with the cache manager) ----------------
 
@@ -126,7 +135,13 @@ class ResultCache {
   /// (LRU by the manifest's touch journal), every store records the fill
   /// and re-enforces the budget, and every hit records a touch. 0 keeps
   /// the PR-3 behavior: no manager, no journal, zero metadata overhead.
-  explicit ResultCache(std::string dir, std::uint64_t budget_bytes = 0);
+  ///
+  /// `registry` is where hit/miss/store/reject counters land (shared with
+  /// the serving process's other components so /metrics sees them); null
+  /// falls back to a private registry, keeping instrumentation
+  /// unconditional. Not owned; must outlive the cache.
+  explicit ResultCache(std::string dir, std::uint64_t budget_bytes = 0,
+                       metrics::Registry* registry = nullptr);
   ~ResultCache();
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
@@ -160,11 +175,20 @@ class ResultCache {
 
   std::string dir_;
   std::uint64_t budget_bytes_ = 0;
+  /// Fallback when no shared registry is passed; declared before the
+  /// counter references so they can bind to it during construction.
+  std::unique_ptr<metrics::Registry> own_registry_;
+  metrics::Counter& hits_;
+  metrics::Counter& misses_;
+  metrics::Counter& stores_;
+  metrics::Counter& rejected_;
+  /// Registry counters are monotone and possibly shared; reset_stats()
+  /// (tests, bench warm-up) subtracts these baselines instead.
+  std::atomic<std::uint64_t> base_hits_{0};
+  std::atomic<std::uint64_t> base_misses_{0};
+  std::atomic<std::uint64_t> base_stores_{0};
+  std::atomic<std::uint64_t> base_rejected_{0};
   std::unique_ptr<CacheManager> manager_;  ///< engaged iff budgeted
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> stores_{0};
-  std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> temp_counter_{0};
 };
 

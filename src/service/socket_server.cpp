@@ -21,6 +21,7 @@
 #include "service/batch_server.hpp"
 #include "service/job_spec.hpp"
 #include "service/report_sink.hpp"
+#include "support/log.hpp"
 
 namespace distapx::service {
 
@@ -34,6 +35,7 @@ struct PendingJob {
   std::uint64_t conn_seq = 0;   ///< 1-based per-connection submit number
   std::uint64_t submit_no = 0;  ///< 1-based global arrival number (label)
   std::string payload;          ///< raw job-file bytes
+  Clock::time_point enqueued;   ///< arrival, for the job_latency_ms series
 };
 
 /// What a lane hands back to the I/O thread.
@@ -71,42 +73,57 @@ struct Conn {
   }
 };
 
-/// The server's counters, shared between the I/O thread (which renders
-/// STATS frames from them) and the lanes (which bump the completion-side
-/// ones). Relaxed atomics: these are independent monotone counters,
-/// never used to synchronize anything.
-struct Counters {
-  std::atomic<std::uint64_t> connections_accepted{0};
-  std::atomic<std::uint64_t> submits_accepted{0};
-  std::atomic<std::uint64_t> results_ok{0};
-  std::atomic<std::uint64_t> results_error{0};
-  std::atomic<std::uint64_t> protocol_errors{0};
-  std::atomic<std::uint64_t> timeouts{0};
-  std::atomic<std::uint64_t> pings{0};
-  std::atomic<std::uint64_t> cache_hits{0};
-  std::atomic<std::uint64_t> computed{0};
-  std::atomic<std::uint64_t> jobs_dropped{0};
+/// The server's metric handles, resolved once from the registry at run()
+/// entry so the hot paths touch relaxed atomics only — never the
+/// registry's registration mutex. Shared between the I/O thread and the
+/// lanes; every series is independent and monotone (or a gauge), never
+/// used to synchronize anything.
+struct Meters {
+  metrics::Counter& connections_accepted;
+  metrics::Counter& submits_accepted;
+  metrics::Counter& results_ok;
+  metrics::Counter& results_error;
+  metrics::Counter& protocol_errors;
+  metrics::Counter& frame_errors;  ///< decode-level subset of the above
+  metrics::Counter& timeouts;
+  metrics::Counter& pings;
+  metrics::Counter& jobs_dropped;
+  metrics::Counter& bytes_read;
+  metrics::Counter& bytes_written;
+  metrics::Counter& lane_busy_us;
+  metrics::Gauge& queue_depth;
+  metrics::Gauge& executing;
+  metrics::Gauge& lanes;
+  metrics::Gauge& connections_open;
+  metrics::Gauge& draining;
+  metrics::Gauge& ready;
+  metrics::Histogram& job_latency_ms;        ///< submit arrival -> done
+  metrics::Histogram& queue_depth_at_submit;
 
-  void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
-    c.fetch_add(by, std::memory_order_relaxed);
-  }
-
-  [[nodiscard]] SocketServerStats snapshot(unsigned lanes) const {
-    SocketServerStats s;
-    s.connections_accepted =
-        connections_accepted.load(std::memory_order_relaxed);
-    s.submits_accepted = submits_accepted.load(std::memory_order_relaxed);
-    s.results_ok = results_ok.load(std::memory_order_relaxed);
-    s.results_error = results_error.load(std::memory_order_relaxed);
-    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
-    s.timeouts = timeouts.load(std::memory_order_relaxed);
-    s.pings = pings.load(std::memory_order_relaxed);
-    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
-    s.computed = computed.load(std::memory_order_relaxed);
-    s.jobs_dropped = jobs_dropped.load(std::memory_order_relaxed);
-    s.lanes = lanes;
-    return s;
-  }
+  explicit Meters(metrics::Registry& reg)
+      : connections_accepted(reg.counter("connections_accepted_total")),
+        submits_accepted(reg.counter("submits_accepted_total")),
+        results_ok(reg.counter("results_ok_total")),
+        results_error(reg.counter("results_error_total")),
+        protocol_errors(reg.counter("protocol_errors_total")),
+        frame_errors(reg.counter("frame_errors_total")),
+        timeouts(reg.counter("timeouts_total")),
+        pings(reg.counter("pings_total")),
+        jobs_dropped(reg.counter("jobs_dropped_total")),
+        bytes_read(reg.counter("conn_bytes_read_total")),
+        bytes_written(reg.counter("conn_bytes_written_total")),
+        lane_busy_us(reg.counter("lane_busy_us_total")),
+        queue_depth(reg.gauge("queue_depth")),
+        executing(reg.gauge("executing")),
+        lanes(reg.gauge("lanes")),
+        connections_open(reg.gauge("connections_open")),
+        draining(reg.gauge("draining")),
+        ready(reg.gauge("ready")),
+        job_latency_ms(reg.histogram("job_latency_ms",
+                                     metrics::default_latency_buckets_ms())),
+        queue_depth_at_submit(reg.histogram(
+            "queue_depth_at_submit",
+            {0, 1, 2, 4, 8, 16, 32, 64, 128, 256})) {}
 };
 
 /// Nonblocking send; returns bytes written (0 on EAGAIN), -1 on a dead
@@ -129,10 +146,32 @@ unsigned effective_lanes(unsigned requested) {
 
 }  // namespace
 
+SocketServerStats socket_stats_from(const metrics::Snapshot& snap) {
+  SocketServerStats s;
+  s.connections_accepted = snap.counter_or("connections_accepted_total");
+  s.submits_accepted = snap.counter_or("submits_accepted_total");
+  s.results_ok = snap.counter_or("results_ok_total");
+  s.results_error = snap.counter_or("results_error_total");
+  s.protocol_errors = snap.counter_or("protocol_errors_total");
+  s.timeouts = snap.counter_or("timeouts_total");
+  s.pings = snap.counter_or("pings_total");
+  s.cache_hits = snap.counter_or("cache_hits_total");
+  s.computed = snap.counter_or("runs_computed_total");
+  s.jobs_dropped = snap.counter_or("jobs_dropped_total");
+  s.lanes = static_cast<unsigned>(snap.gauge_or("lanes"));
+  return s;
+}
+
 SocketServer::SocketServer(SocketServerOptions opts)
     : opts_(std::move(opts)) {
+  if (opts_.registry != nullptr) {
+    reg_ = opts_.registry;
+  } else {
+    own_registry_ = std::make_unique<metrics::Registry>();
+    reg_ = own_registry_.get();
+  }
   if (!opts_.cache_dir.empty()) {
-    cache_.emplace(opts_.cache_dir, opts_.cache_budget);
+    cache_.emplace(opts_.cache_dir, opts_.cache_budget, reg_);
   } else if (opts_.cache_budget != 0) {
     throw JobError("cache_budget needs a cache_dir");
   }
@@ -142,7 +181,10 @@ SocketServer::SocketServer(SocketServerOptions opts)
 
 SocketServerStats SocketServer::run() {
   const unsigned lane_count = effective_lanes(opts_.lanes);
-  Counters counters;
+  Meters counters(*reg_);
+  counters.lanes.set(lane_count);
+  logx::info("server_listening", {{"endpoint", ep_.to_string()},
+                                  {"lanes", lane_count}});
 
   std::map<std::uint64_t, Conn> conns;
   std::uint64_t next_conn_id = 1;
@@ -170,12 +212,12 @@ SocketServerStats SocketServer::run() {
     Completion done;
     done.conn_id = job.conn_id;
     done.conn_seq = job.conn_seq;
-    std::uint64_t hits = 0, computed = 0;
     try {
       std::istringstream is(job.payload);
       BatchOptions batch_opts;
       batch_opts.threads = opts_.threads;
       batch_opts.cache = cache();
+      batch_opts.registry = reg_;
       BatchServer server(batch_opts);
       server.submit_all(parse_job_file(is));
       if (server.num_jobs() == 0) throw JobError("job file contains no jobs");
@@ -195,8 +237,6 @@ SocketServerStats SocketServer::run() {
                        "split the job file");
       }
       done.ok = true;
-      hits = result.cache_hits;
-      computed = result.computed;
     } catch (const std::exception& e) {
       // Parse errors (line-numbered JobError), spec errors, and run-time
       // failures (e.g. a CONGEST violation) all become this client's ERR
@@ -204,7 +244,7 @@ SocketServerStats SocketServer::run() {
       done.ok = false;
       done.error = e.what();
     }
-    return std::tuple(std::move(done), hits, computed);
+    return done;
   };
 
   std::vector<std::thread> lanes;
@@ -223,23 +263,35 @@ SocketServerStats SocketServer::run() {
           job = std::move(it->second.front());
           it->second.pop_front();
           --queued;
+          counters.queue_depth.set(static_cast<std::int64_t>(queued));
           if (it->second.empty()) {
             pending.erase(it);
           } else {
             rr_ring.push_back(id);  // round-robin: back of the ring
           }
           ++executing;
+          counters.executing.set(static_cast<std::int64_t>(executing));
         }
-        auto [done, hits, computed] = execute(job);
+        const auto exec_start = Clock::now();
+        Completion done = execute(job);
+        const auto exec_end = Clock::now();
+        counters.lane_busy_us.inc(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                exec_end - exec_start)
+                .count()));
+        // Arrival-to-done, queue wait included: the latency a pipelining
+        // client actually experiences per submit.
+        counters.job_latency_ms.observe(
+            std::chrono::duration<double, std::milli>(exec_end - job.enqueued)
+                .count());
         // Counted at completion, delivered or not — matching the
         // pre-lane semantics where a reaped client's finished job still
         // counted. The drop itself shows up in jobs_dropped.
-        counters.bump(done.ok ? counters.results_ok : counters.results_error);
-        counters.bump(counters.cache_hits, hits);
-        counters.bump(counters.computed, computed);
+        (done.ok ? counters.results_ok : counters.results_error).inc();
         {
           std::lock_guard lock(mu);
           --executing;
+          counters.executing.set(static_cast<std::int64_t>(executing));
           completions.push_back(std::move(done));
         }
         pipe_.poke();
@@ -295,38 +347,45 @@ SocketServerStats SocketServer::run() {
       if (pit != pending.end()) {
         purged = pit->second.size();
         queued -= purged;
+        counters.queue_depth.set(static_cast<std::int64_t>(queued));
         pending.erase(pit);
         rr_ring.erase(std::remove(rr_ring.begin(), rr_ring.end(), id),
                       rr_ring.end());
       }
     }
-    counters.bump(counters.jobs_dropped, purged + it->second.ready.size());
+    const std::uint64_t dropped = purged + it->second.ready.size();
+    if (dropped > 0) {
+      counters.jobs_dropped.inc(dropped);
+      logx::warn("jobs_dropped", {{"conn", id}, {"count", dropped}});
+    }
     inflight_total -= purged;
-    return conns.erase(it);
+    logx::debug("conn_closed", {{"conn", id}});
+    const auto next = conns.erase(it);
+    counters.connections_open.set(static_cast<std::int64_t>(conns.size()));
+    return next;
   };
 
   const auto begin_drain = [&] {
     if (draining) return;
     draining = true;
+    counters.draining.set(1);
+    logx::info("drain_begin", {});
     listener_.reset();  // new connects are refused from here on
     for (auto& [id, conn] : conns) {
       if (conn.inflight == 0) begin_close(conn);
     }
   };
 
+  // One snapshot renders the whole STATS frame — the exact same registry
+  // state GET /metrics exposes, so the two surfaces cannot disagree.
   const auto stats_text = [&] {
-    std::size_t depth = 0, running = 0;
-    {
-      std::lock_guard lock(mu);
-      depth = queued;
-      running = executing;
-    }
-    const SocketServerStats s = counters.snapshot(lane_count);
+    const metrics::Snapshot snap = reg_->snapshot();
+    const SocketServerStats s = socket_stats_from(snap);
     std::ostringstream os;
     os << "endpoint " << ep_.to_string() << "\n"
-       << "draining " << (draining ? 1 : 0) << "\n"
+       << "draining " << snap.gauge_or("draining") << "\n"
        << "lanes " << s.lanes << "\n"
-       << "connections_open " << conns.size() << "\n"
+       << "connections_open " << snap.gauge_or("connections_open") << "\n"
        << "connections_accepted " << s.connections_accepted << "\n"
        << "submits_accepted " << s.submits_accepted << "\n"
        << "results_ok " << s.results_ok << "\n"
@@ -337,13 +396,14 @@ SocketServerStats SocketServer::run() {
        << "cache_hits " << s.cache_hits << "\n"
        << "computed " << s.computed << "\n"
        << "jobs_dropped " << s.jobs_dropped << "\n"
-       << "queue_depth " << depth << "\n"
-       << "executing " << running << "\n";
+       << "queue_depth " << snap.gauge_or("queue_depth") << "\n"
+       << "executing " << snap.gauge_or("executing") << "\n";
     return os.str();
   };
 
   const auto protocol_error = [&](Conn& conn, const std::string& what) {
-    counters.bump(counters.protocol_errors);
+    counters.protocol_errors.inc();
+    logx::warn("protocol_error", {{"err", what}});
     enqueue_response(conn, net::FrameType::kError, "protocol error: " + what);
     begin_close(conn);
   };
@@ -370,7 +430,7 @@ SocketServerStats SocketServer::run() {
         return;
       }
       case net::FrameType::kPing:
-        counters.bump(counters.pings);
+        counters.pings.inc();
         enqueue_response(conn, net::FrameType::kPong, {});
         return;
       case net::FrameType::kStatsReq:
@@ -382,9 +442,9 @@ SocketServerStats SocketServer::run() {
                            "server is draining; submit rejected");
           return;
         }
-        const std::uint64_t submit_no =
-            1 + counters.submits_accepted.fetch_add(1,
-                                                    std::memory_order_relaxed);
+        // inc() returns the post-increment value: the counter itself is
+        // the submit-number sequence, no shadow variable.
+        const std::uint64_t submit_no = counters.submits_accepted.inc();
         ++conn.inflight;
         ++inflight_total;
         const std::uint64_t conn_seq = conn.next_submit_seq++;
@@ -393,9 +453,13 @@ SocketServerStats SocketServer::run() {
           auto& q = pending[conn_id];
           if (q.empty()) rr_ring.push_back(conn_id);
           q.push_back(PendingJob{conn_id, conn_seq, submit_no,
-                                 std::move(frame.payload)});
+                                 std::move(frame.payload), Clock::now()});
           ++queued;
+          counters.queue_depth.set(static_cast<std::int64_t>(queued));
+          counters.queue_depth_at_submit.observe(
+              static_cast<double>(queued));
         }
+        logx::debug("submit", {{"conn", conn_id}, {"no", submit_no}});
         cv.notify_one();
         if (opts_.max_requests != 0 && submit_no >= opts_.max_requests) {
           begin_drain();
@@ -431,14 +495,18 @@ SocketServerStats SocketServer::run() {
       const ssize_t r = fdio::read_some(conn.fd.get(), buf, sizeof buf);
       if (r < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-        if (conn.reader.mid_frame()) counters.bump(counters.protocol_errors);
+        if (conn.reader.mid_frame()) {
+          counters.protocol_errors.inc();
+          counters.frame_errors.inc();
+        }
         return false;  // reset underneath us
       }
       if (r == 0) {
         conn.read_eof = true;
         if (conn.reader.mid_frame()) {
           // Truncated frame: the peer hung up with a frame half-sent.
-          counters.bump(counters.protocol_errors);
+          counters.protocol_errors.inc();
+          counters.frame_errors.inc();
           return false;
         }
         // Clean half-close: finish in-flight work and flush responses
@@ -450,6 +518,7 @@ SocketServerStats SocketServer::run() {
         }
         break;
       }
+      counters.bytes_read.inc(static_cast<std::uint64_t>(r));
       conn.reader.feed(buf, static_cast<std::size_t>(r));
       for (;;) {
         net::Frame frame;
@@ -460,6 +529,7 @@ SocketServerStats SocketServer::run() {
           continue;
         }
         if (status == net::FrameStatus::kNeedMore) break;
+        counters.frame_errors.inc();  // decode-level: bad magic, oversize
         protocol_error(conn, net::frame_status_name(status));
         break;
       }
@@ -484,6 +554,7 @@ SocketServerStats SocketServer::run() {
       const ssize_t w = send_some(conn.fd.get(), conn.outbuf.data() + conn.outoff,
                                   conn.outbuf.size() - conn.outoff);
       if (w < 0) return false;
+      if (w > 0) counters.bytes_written.inc(static_cast<std::uint64_t>(w));
       if (w > 0 && opts_.idle_timeout_ms != 0) {
         // Progress resets the reap clock: only a peer *refusing* to read
         // its responses runs it out, not a slow one.
@@ -513,7 +584,7 @@ SocketServerStats SocketServer::run() {
       const auto it = conns.find(done.conn_id);
       if (it == conns.end()) {
         // Client left while the job ran; nowhere to send the response.
-        counters.bump(counters.jobs_dropped);
+        counters.jobs_dropped.inc();
         continue;
       }
       Conn& conn = it->second;
@@ -544,6 +615,7 @@ SocketServerStats SocketServer::run() {
 
   std::vector<pollfd> pfds;
   std::vector<std::uint64_t> pfd_conn;  // conn id per pollfd (0 = not a conn)
+  counters.ready.set(1);  // /healthz flips to "ok" here
   for (;;) {
     if (stop_.load()) begin_drain();
     // Closing connections with nothing left to flush are done; sweeping
@@ -611,9 +683,12 @@ SocketServerStats SocketServer::run() {
         for (;;) {
           fdio::Fd accepted = listener_->accept_connection();
           if (!accepted) break;
-          counters.bump(counters.connections_accepted);
+          counters.connections_accepted.inc();
+          logx::debug("conn_accepted", {{"conn", next_conn_id}});
           conns.emplace(next_conn_id++,
                         Conn(std::move(accepted), opts_.max_frame_bytes));
+          counters.connections_open.set(
+              static_cast<std::int64_t>(conns.size()));
         }
       }
     }
@@ -638,16 +713,21 @@ SocketServerStats SocketServer::run() {
       if (alive &&
           (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) &&
           !(pfds[i].revents & POLLIN)) {
-        if (conn.reader.mid_frame()) counters.bump(counters.protocol_errors);
+        if (conn.reader.mid_frame()) {
+          counters.protocol_errors.inc();
+          counters.frame_errors.inc();
+        }
         alive = false;
       }
       if (alive && conn.deadline != Clock::time_point::max() &&
           Clock::now() >= conn.deadline) {
         // Slow loris (stalled mid-frame) or a closing peer that never
         // drains its responses: classified, counted, reaped.
-        counters.bump(counters.timeouts);
+        counters.timeouts.inc();
+        logx::warn("conn_timeout", {{"conn", id}});
         if (conn.reader.mid_frame() && !conn.closing) {
-          counters.bump(counters.protocol_errors);
+          counters.protocol_errors.inc();
+          counters.frame_errors.inc();
           // Courtesy diagnostic — but only onto an empty output buffer:
           // injecting it after a partially flushed frame would corrupt
           // the peer's byte stream.
@@ -672,7 +752,9 @@ SocketServerStats SocketServer::run() {
   for (auto& t : lanes) t.join();
   lanes.clear();  // the joiner must not join twice
   deliver_completions();  // completions raced with the drain; drop-count them
-  return counters.snapshot(lane_count);
+  counters.ready.set(0);
+  logx::info("server_stopped", {});
+  return socket_stats_from(reg_->snapshot());
 }
 
 }  // namespace distapx::service

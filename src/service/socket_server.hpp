@@ -57,6 +57,7 @@
 #include "net/socket.hpp"
 #include "service/result_cache.hpp"
 #include "support/fdio.hpp"
+#include "support/metrics.hpp"
 
 namespace distapx::service {
 
@@ -94,15 +95,21 @@ struct SocketServerOptions {
   /// default: the serving tier is a localhost/trusted-LAN tool and
   /// scripted stops beat kill(1). Disable for longer-lived deployments.
   bool allow_remote_shutdown = true;
+  /// Metrics destination shared with the cache and batch servers this
+  /// server drives; the CLI passes the process registry so the admin
+  /// endpoint scrapes everything in one page. Null -> a private registry
+  /// (instrumentation is unconditional either way). Not owned; must
+  /// outlive the server.
+  metrics::Registry* registry = nullptr;
 };
 
 /// Counters over one run(). Everything here is operational telemetry —
 /// the determinism contract covers RESULT payload bytes only. This is a
-/// plain snapshot type: internally the server keeps the counters atomic
-/// (lanes bump results_ok/results_error/cache_hits/computed at
-/// completion; the I/O thread owns the rest) and snapshots them for
-/// STATS frames and the run() return value, so readers never race the
-/// writers.
+/// *typed view* over the metrics registry (socket_stats_from): the server
+/// keeps no shadow counters — the registry's relaxed-atomic series are
+/// the single source of truth, and the STATS frame, the run() return
+/// value, and GET /metrics all render from the same snapshot, so the
+/// surfaces cannot disagree.
 struct SocketServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t submits_accepted = 0;
@@ -118,6 +125,12 @@ struct SocketServerStats {
   std::uint64_t jobs_dropped = 0;
   unsigned lanes = 0;  ///< effective executor lane count
 };
+
+/// The SocketServerStats a registry snapshot implies. cache_hits and
+/// computed come from the shared ResultCache / BatchServer counters
+/// (cache_hits_total, runs_computed_total) — the serving tier no longer
+/// keeps its own copies of those numbers.
+SocketServerStats socket_stats_from(const metrics::Snapshot& snap);
 
 class SocketServer {
  public:
@@ -146,9 +159,16 @@ class SocketServer {
   [[nodiscard]] ResultCache* cache() noexcept {
     return cache_ ? &*cache_ : nullptr;
   }
+  /// The registry this server instruments (the configured one, or the
+  /// private fallback). An admin endpoint scrapes this.
+  [[nodiscard]] metrics::Registry& registry() noexcept { return *reg_; }
 
  private:
   SocketServerOptions opts_;
+  /// Fallback when options carried no registry; declared before cache_
+  /// so the cache can share it.
+  std::unique_ptr<metrics::Registry> own_registry_;
+  metrics::Registry* reg_ = nullptr;
   net::Endpoint ep_;
   std::optional<net::Listener> listener_;  ///< reset when draining begins
   std::optional<ResultCache> cache_;       ///< engaged iff cache_dir is set

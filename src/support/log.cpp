@@ -1,0 +1,210 @@
+#include "support/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <mutex>
+
+namespace distapx::logx {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+
+std::mutex g_mu;  // guards everything below + line emission ordering
+std::function<void(const std::string&)> g_sink;       // null -> stderr
+std::function<double()> g_clock;                      // null -> steady_clock
+double g_rate_per_sec = 10.0;
+double g_rate_burst = 50.0;
+std::map<std::string, RateLimiter, std::less<>> g_limiters;
+
+double now_seconds_locked() {
+  if (g_clock) return g_clock();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// ISO-8601 UTC with millisecond precision. Wall-clock time, not the
+/// rate-limiter clock: timestamps are for correlating with other systems.
+std::string format_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  const std::size_t n = std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof buf - n, ".%03dZ", static_cast<int>(ms));
+  return buf;
+}
+
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (const char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* level_name(Level lv) noexcept {
+  switch (lv) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+std::optional<Level> parse_level(std::string_view text) noexcept {
+  if (text == "debug") return Level::kDebug;
+  if (text == "info") return Level::kInfo;
+  if (text == "warn") return Level::kWarn;
+  if (text == "error") return Level::kError;
+  if (text == "off") return Level::kOff;
+  return std::nullopt;
+}
+
+void set_level(Level lv) noexcept {
+  g_level.store(static_cast<int>(lv), std::memory_order_relaxed);
+}
+
+Level level() noexcept {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+Field::Field(std::string_view k, double v) : key(k) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  value = buf;
+}
+
+bool RateLimiter::allow(double now_seconds) noexcept {
+  if (!started_) {
+    started_ = true;
+    last_ = now_seconds;
+  }
+  if (now_seconds > last_) {
+    tokens_ = std::min(burst_, tokens_ + (now_seconds - last_) * per_sec_);
+    last_ = now_seconds;
+  }
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    suppressed_ = 0;
+    return true;
+  }
+  ++suppressed_;
+  return false;
+}
+
+void set_rate_limit(double tokens_per_sec, double burst) {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  g_rate_per_sec = tokens_per_sec;
+  g_rate_burst = burst;
+  g_limiters.clear();
+}
+
+void set_sink_for_testing(std::function<void(const std::string&)> sink) {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  g_sink = std::move(sink);
+}
+
+void set_clock_for_testing(std::function<double()> now_seconds) {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  g_clock = std::move(now_seconds);
+}
+
+std::string format_value(std::string_view value) {
+  if (!needs_quoting(value)) return std::string(value);
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\x%02x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void log(Level lv, std::string_view event,
+         std::initializer_list<Field> fields) {
+  if (static_cast<int>(lv) < g_level.load(std::memory_order_relaxed)) return;
+  if (lv == Level::kOff) return;
+
+  const std::lock_guard<std::mutex> lock(g_mu);
+  auto it = g_limiters.find(event);
+  if (it == g_limiters.end()) {
+    it = g_limiters
+             .emplace(std::string(event),
+                      RateLimiter(g_rate_per_sec, g_rate_burst))
+             .first;
+  }
+  const std::uint64_t suppressed_before = it->second.suppressed();
+  if (!it->second.allow(now_seconds_locked())) return;
+
+  std::string line = "ts=" + format_timestamp();
+  line += " level=";
+  line += level_name(lv);
+  line += " event=";
+  line += format_value(event);
+  for (const Field& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    line += format_value(f.value);
+  }
+  if (suppressed_before > 0) {
+    line += " suppressed=" + std::to_string(suppressed_before);
+  }
+  line += '\n';
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+}  // namespace distapx::logx

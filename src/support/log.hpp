@@ -1,0 +1,138 @@
+// Leveled, rate-limited, structured logging for the serving tier.
+//
+// One line per event, machine-parsable key=value fields, written to
+// stderr (stdout stays reserved for results — CSV rows, reports, counter
+// prints — which scripts pipe and cmp):
+//
+//   ts=2026-08-09T12:34:56.789Z level=info event=conn_accepted conn=3
+//   ts=... level=warn event=protocol_error conn=7 err="bad-magic"
+//       suppressed=12  (one line on the wire; wrapped here for width)
+//
+// Values containing spaces, quotes, '=' or control characters are quoted
+// with backslash escapes; everything else is emitted bare. The `event`
+// field is a stable identifier (snake_case); free-form detail goes in
+// named fields, never in the event name.
+//
+// Rate limiting: each event name gets a token bucket (default 10 lines/s,
+// burst 50) so a misbehaving peer hammering protocol errors cannot turn
+// the log into the bottleneck — or fill a disk. Dropped lines are counted
+// and the next allowed line of that event carries `suppressed=N`, so the
+// information that a storm happened survives even though its lines do
+// not. The limiter applies per event name; error-level lines share the
+// same buckets (an error storm is still a storm).
+//
+// The global level is process-wide (`--log-level` on the serving CLIs;
+// default info). Filtering happens before field formatting, so disabled
+// levels cost one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace distapx::logx {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Stable lowercase name ("debug", "info", "warn", "error", "off").
+const char* level_name(Level lv) noexcept;
+/// Inverse of level_name; nullopt on anything else.
+std::optional<Level> parse_level(std::string_view text) noexcept;
+
+void set_level(Level lv) noexcept;
+Level level() noexcept;
+
+/// One key=value field. Construction renders the value to a string; keys
+/// must be bare identifiers (they are emitted unquoted).
+struct Field {
+  std::string_view key;
+  std::string value;
+
+  Field(std::string_view k, std::string_view v) : key(k), value(v) {}
+  Field(std::string_view k, const char* v) : key(k), value(v) {}
+  Field(std::string_view k, const std::string& v) : key(k), value(v) {}
+  Field(std::string_view k, unsigned long long v)
+      : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, unsigned long v)
+      : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, unsigned v) : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, long long v)
+      : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, long v) : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, int v) : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, double v);
+  Field(std::string_view k, bool v) : key(k), value(v ? "1" : "0") {}
+};
+
+/// Emits one line (subject to level filtering and the per-event rate
+/// limit). Thread-safe; the line is written with a single fwrite so
+/// concurrent loggers never interleave mid-line.
+void log(Level lv, std::string_view event,
+         std::initializer_list<Field> fields = {});
+
+inline void debug(std::string_view event,
+                  std::initializer_list<Field> fields = {}) {
+  log(Level::kDebug, event, fields);
+}
+inline void info(std::string_view event,
+                 std::initializer_list<Field> fields = {}) {
+  log(Level::kInfo, event, fields);
+}
+inline void warn(std::string_view event,
+                 std::initializer_list<Field> fields = {}) {
+  log(Level::kWarn, event, fields);
+}
+inline void error(std::string_view event,
+                  std::initializer_list<Field> fields = {}) {
+  log(Level::kError, event, fields);
+}
+
+/// Token bucket: starts full at `burst` tokens, refills at
+/// `tokens_per_sec`, each allowed event spends one token. Time is passed
+/// in explicitly (seconds on any monotone clock) so tests can pin the
+/// schedule without sleeping; the logger feeds it steady_clock.
+class RateLimiter {
+ public:
+  RateLimiter(double tokens_per_sec, double burst) noexcept
+      : per_sec_(tokens_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// True when the event may proceed (a token was spent).
+  bool allow(double now_seconds) noexcept;
+
+  /// Denied count since the last allowed event; reset by the next allow.
+  [[nodiscard]] std::uint64_t suppressed() const noexcept {
+    return suppressed_;
+  }
+
+ private:
+  double per_sec_;
+  double burst_;
+  double tokens_;
+  double last_ = 0;
+  bool started_ = false;
+  std::uint64_t suppressed_ = 0;
+};
+
+/// Rate limit applied per event name by log(). Defaults: 10/s, burst 50.
+/// Changing it resets existing per-event buckets.
+void set_rate_limit(double tokens_per_sec, double burst);
+
+/// Test seams: replace the stderr sink with a line collector, and the
+/// wall clock the rate limiter reads. Null restores the default.
+void set_sink_for_testing(std::function<void(const std::string&)> sink);
+void set_clock_for_testing(std::function<double()> now_seconds);
+
+/// Formats the value part of one field exactly as log() would (bare or
+/// quoted+escaped). Exposed for the format tests.
+std::string format_value(std::string_view value);
+
+}  // namespace distapx::logx

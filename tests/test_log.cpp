@@ -1,0 +1,143 @@
+// Structured logging: line format, value quoting, level filtering, and
+// the per-event token-bucket rate limiter (driven by an injected clock so
+// the burst schedule is pinned without sleeping).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/log.hpp"
+
+namespace distapx::logx {
+namespace {
+
+/// Captures emitted lines and restores every global logger knob on exit,
+/// so these tests cannot leak state into suites that log for real.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_level(Level::kDebug);
+    set_rate_limit(10.0, 50.0);
+    now_ = 0.0;
+    set_clock_for_testing([this] { return now_; });
+    set_sink_for_testing([this](const std::string& line) {
+      lines_.push_back(line);
+    });
+  }
+
+  void TearDown() override {
+    set_sink_for_testing(nullptr);
+    set_clock_for_testing(nullptr);
+    set_rate_limit(10.0, 50.0);
+    set_level(Level::kInfo);
+  }
+
+  double now_ = 0.0;
+  std::vector<std::string> lines_;
+};
+
+TEST(LogLevel, ParseRoundTripsNames) {
+  for (const Level lv : {Level::kDebug, Level::kInfo, Level::kWarn,
+                         Level::kError, Level::kOff}) {
+    const auto parsed = parse_level(level_name(lv));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, lv);
+  }
+  EXPECT_FALSE(parse_level("verbose").has_value());
+  EXPECT_FALSE(parse_level("").has_value());
+}
+
+TEST(LogFormat, BareValuesStayBareQuotedValuesEscape) {
+  EXPECT_EQ(format_value("simple"), "simple");
+  EXPECT_EQ(format_value("a:b/c.d-42"), "a:b/c.d-42");
+  EXPECT_EQ(format_value(""), "\"\"");
+  EXPECT_EQ(format_value("has space"), "\"has space\"");
+  EXPECT_EQ(format_value("k=v"), "\"k=v\"");
+  EXPECT_EQ(format_value("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(format_value("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(format_value("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(format_value(std::string("nul\x01") + "byte"),
+            "\"nul\\x01byte\"");
+}
+
+TEST_F(LogTest, LineCarriesLevelEventAndFieldsInOrder) {
+  info("conn_accepted", {{"conn", 3}, {"peer", "unix"}});
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_EQ(line.rfind("ts=", 0), 0u);  // starts with a timestamp
+  EXPECT_NE(line.find(" level=info event=conn_accepted conn=3 peer=unix\n"),
+            std::string::npos);
+}
+
+TEST_F(LogTest, FieldValuesAreQuotedWhenNeeded) {
+  warn("protocol_error", {{"err", "bad magic"}, {"ok", false}});
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("err=\"bad magic\" ok=0\n"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelFilterDropsBelowThreshold) {
+  set_level(Level::kWarn);
+  debug("a");
+  info("b");
+  warn("c");
+  error("d");
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_NE(lines_[0].find("event=c"), std::string::npos);
+  EXPECT_NE(lines_[1].find("event=d"), std::string::npos);
+  set_level(Level::kOff);
+  error("e");
+  EXPECT_EQ(lines_.size(), 2u);
+}
+
+TEST_F(LogTest, BurstIsAllowedThenSuppressedWithCount) {
+  set_rate_limit(1.0, 3.0);  // 3-line burst, then 1 line per second
+  for (int i = 0; i < 10; ++i) log(Level::kInfo, "storm", {{"i", i}});
+  // Burst of 3 passes, the other 7 are dropped.
+  ASSERT_EQ(lines_.size(), 3u);
+
+  // One second later one token has refilled; the next line carries the
+  // count of everything dropped since the last allowed line.
+  now_ = 1.0;
+  log(Level::kInfo, "storm", {{"i", 10}});
+  ASSERT_EQ(lines_.size(), 4u);
+  EXPECT_NE(lines_[3].find("suppressed=7"), std::string::npos);
+
+  // Once a line is allowed the suppressed count resets.
+  now_ = 2.0;
+  log(Level::kInfo, "storm", {{"i", 11}});
+  ASSERT_EQ(lines_.size(), 5u);
+  EXPECT_EQ(lines_[4].find("suppressed="), std::string::npos);
+}
+
+TEST_F(LogTest, RateLimitIsPerEventName) {
+  set_rate_limit(1.0, 1.0);
+  info("a");
+  info("a");  // dropped: a's bucket is empty
+  info("b");  // b has its own bucket
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_NE(lines_[0].find("event=a"), std::string::npos);
+  EXPECT_NE(lines_[1].find("event=b"), std::string::npos);
+}
+
+TEST(LogRateLimiter, TokenBucketRefillsAndCaps) {
+  RateLimiter rl(2.0, 4.0);  // 2 tokens/s, burst 4
+  // Starts full: the first 4 events pass, the 5th does not.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(rl.allow(0.0));
+  EXPECT_FALSE(rl.allow(0.0));
+  EXPECT_FALSE(rl.allow(0.25));
+  EXPECT_EQ(rl.suppressed(), 2u);
+  // Two idle seconds at 2 tokens/s refill to the burst cap (the clamp
+  // lands tokens on exactly 4.0, keeping the arithmetic float-safe),
+  // never beyond it. (All times here are exact binary fractions.)
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(rl.allow(2.25));
+    EXPECT_EQ(rl.suppressed(), 0u);  // reset by the first allowed event
+  }
+  EXPECT_FALSE(rl.allow(2.25));
+  // Same after an arbitrarily long idle stretch.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(rl.allow(100.0));
+  EXPECT_FALSE(rl.allow(100.0));
+}
+
+}  // namespace
+}  // namespace distapx::logx

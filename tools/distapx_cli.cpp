@@ -9,10 +9,12 @@
 //                     [--quiet]
 //   distapx_cli serve <spool-dir> [--cache-dir DIR] [--cache-budget SIZE]
 //                     [--threads N] [--poll-ms M] [--max-files K] [--once]
+//                     [--admin ADDR] [--log-level LEVEL]
 //   distapx_cli serve --listen <path|host:port> [--cache-dir DIR]
 //                     [--cache-budget SIZE] [--threads N] [--lanes N]
 //                     [--max-requests K] [--idle-timeout-ms M]
-//                     [--no-remote-shutdown]
+//                     [--no-remote-shutdown] [--admin ADDR]
+//                     [--log-level LEVEL]
 //   distapx_cli submit <path|host:port> <jobfile> [--summary F] [--runs F]
 //                     [--report F] [--connect-timeout-ms M] [--quiet]
 //   distapx_cli submit <path|host:port> {--ping | --stats | --shutdown}
@@ -46,6 +48,7 @@
 #include <csignal>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <mutex>
 #include <optional>
@@ -59,6 +62,7 @@
 #include "graph/genspec.hpp"
 #include "graph/io.hpp"
 #include "net/client.hpp"
+#include "net/http_admin.hpp"
 #include "net/socket.hpp"
 #include "matching/lr_matching.hpp"
 #include "matching/lr_matching_det.hpp"
@@ -77,6 +81,8 @@
 #include "service/result_cache.hpp"
 #include "service/socket_server.hpp"
 #include "support/assert.hpp"
+#include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/parse.hpp"
 #include "support/stats.hpp"
 
@@ -119,6 +125,160 @@ std::uint64_t flag_size(const std::string& flag, const std::string& tok) {
                 " is not a byte size (integer with optional k/m/g suffix)");
   }
   return *v;
+}
+
+/// Declarative option table: each subcommand registers its flags once —
+/// typed target, value placeholder, range — and shares one parse loop,
+/// uniform unknown-flag / missing-value / out-of-range diagnostics, and a
+/// usage line generated from the same table parse() accepts, so the two
+/// can never drift. Positional arguments stay with the subcommand; the
+/// table covers everything that starts with "--".
+class FlagSet {
+ public:
+  /// `cmd` names the subcommand in diagnostics ("unknown serve flag");
+  /// `positionals` is the head of the generated usage line.
+  FlagSet(std::string cmd, std::string positionals)
+      : cmd_(std::move(cmd)), positionals_(std::move(positionals)) {}
+
+  /// String-valued flag (paths, addresses, generator specs).
+  FlagSet& str(const char* name, const char* arg, std::string* out) {
+    return add(name, arg, [out](const std::string&, const std::string& tok) {
+      *out = tok;
+    });
+  }
+
+  /// Non-negative integer flag with an inclusive cap; `min_value` lets a
+  /// flag reject 0 without a bespoke check.
+  template <typename T>
+  FlagSet& uint(const char* name, const char* arg, T* out,
+                std::uint64_t max_value = UINT64_MAX,
+                std::uint64_t min_value = 0) {
+    return add(name, arg,
+               [out, max_value, min_value](const std::string& flag,
+                                           const std::string& tok) {
+                 const std::uint64_t v = flag_uint(flag, tok, max_value);
+                 if (v < min_value) usage_error(flag + " must be positive");
+                 *out = static_cast<T>(v);
+               });
+  }
+
+  /// Byte-size flag (integer with optional k/m/g suffix). `seen` reports
+  /// that the flag appeared, for subcommands where it is mandatory.
+  template <typename T>
+  FlagSet& size(const char* name, const char* arg, T* out,
+                bool* seen = nullptr) {
+    return add(name, arg,
+               [out, seen](const std::string& flag, const std::string& tok) {
+                 *out = static_cast<T>(flag_size(flag, tok));
+                 if (seen != nullptr) *seen = true;
+               });
+  }
+
+  FlagSet& real(const char* name, const char* arg, double* out) {
+    return add(name, arg,
+               [out](const std::string& flag, const std::string& tok) {
+                 *out = flag_double(flag, tok);
+               });
+  }
+
+  /// Valueless flag; writes `value` (so --no-X can clear a default-on
+  /// option).
+  FlagSet& toggle(const char* name, bool* out, bool value = true) {
+    return add(name, "", [out, value](const std::string&, const std::string&) {
+      *out = value;
+    });
+  }
+
+  /// Parses the remaining argv tokens: every token must be a registered
+  /// flag (plus its value). Unknown flags die with the generated usage
+  /// line so the operator sees what this subcommand does accept.
+  void parse(const std::vector<std::string>& args) const {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& flag = args[i];
+      const Spec* spec = find(flag);
+      if (spec == nullptr) {
+        usage_error("unknown " + (cmd_.empty() ? "" : cmd_ + " ") + "flag " +
+                    flag + "\nusage: " + usage_line());
+      }
+      std::string value;
+      if (!spec->arg.empty()) {
+        if (i + 1 >= args.size()) usage_error("missing value for " + flag);
+        value = args[++i];
+      }
+      spec->apply(flag, value);
+    }
+  }
+
+  /// "distapx_cli <positionals> [--flag ARG]..." — derived from the table.
+  [[nodiscard]] std::string usage_line() const {
+    std::string line = "distapx_cli " + positionals_;
+    for (const auto& s : specs_) {
+      line += " [" + s.name + (s.arg.empty() ? "" : " " + s.arg) + "]";
+    }
+    return line;
+  }
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string arg;  ///< value placeholder; empty = toggle
+    std::function<void(const std::string&, const std::string&)> apply;
+  };
+
+  FlagSet& add(const char* name, const char* arg,
+               std::function<void(const std::string&, const std::string&)> fn) {
+    specs_.push_back({name, arg, std::move(fn)});
+    return *this;
+  }
+
+  [[nodiscard]] const Spec* find(const std::string& flag) const {
+    for (const auto& s : specs_) {
+      if (s.name == flag) return &s;
+    }
+    return nullptr;
+  }
+
+  std::string cmd_;
+  std::string positionals_;
+  std::vector<Spec> specs_;
+};
+
+/// argv[first..argc) as strings, for FlagSet::parse.
+std::vector<std::string> arg_rest(int argc, char** argv, int first) {
+  std::vector<std::string> rest;
+  for (int i = first; i < argc; ++i) rest.emplace_back(argv[i]);
+  return rest;
+}
+
+/// --log-level for the serving subcommands; empty = keep the default.
+void apply_log_level(const std::string& spec) {
+  if (spec.empty()) return;
+  const auto level = logx::parse_level(spec);
+  if (!level) {
+    usage_error("--log-level " + spec +
+                " is not one of debug|info|warn|error|off");
+  }
+  logx::set_level(*level);
+}
+
+/// --admin for the serving subcommands: binds and starts the HTTP admin
+/// endpoint on `registry` and prints the bound address ("admin on ...",
+/// the line CI scrapes for the ephemeral port). `admin` must be declared
+/// after the registry and server it observes, so it stops first.
+void start_admin(const std::string& addr, metrics::Registry& registry,
+                 std::optional<net::AdminServer>& admin) {
+  if (addr.empty()) return;
+  try {
+    net::AdminOptions aopts;
+    aopts.endpoint = addr;
+    aopts.registry = &registry;
+    admin.emplace(std::move(aopts));
+    admin->start();
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
+  std::cout << "admin on " << admin->endpoint().to_string() << "\n"
+            << std::flush;
 }
 
 void print_metrics(const sim::RunMetrics& m) {
@@ -166,31 +326,15 @@ int run_batch(int argc, char** argv) {
   std::string csv_file, json_file, runs_file, cache_dir;
   std::uint64_t cache_budget = 0;
   bool quiet = false;
-  for (int i = 3; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage_error("missing value for " + flag);
-      return argv[++i];
-    };
-    if (flag == "--threads") {
-      batch_opts.threads =
-          static_cast<unsigned>(flag_uint(flag, value(), 1u << 16));
-    } else if (flag == "--cache") {
-      cache_dir = value();
-    } else if (flag == "--cache-budget") {
-      cache_budget = flag_size(flag, value());
-    } else if (flag == "--csv") {
-      csv_file = value();
-    } else if (flag == "--json") {
-      json_file = value();
-    } else if (flag == "--runs") {
-      runs_file = value();
-    } else if (flag == "--quiet") {
-      quiet = true;
-    } else {
-      usage_error("unknown batch flag " + flag);
-    }
-  }
+  FlagSet flags("batch", "batch <jobfile>");
+  flags.uint("--threads", "N", &batch_opts.threads, 1u << 16)
+      .str("--cache", "DIR", &cache_dir)
+      .size("--cache-budget", "SIZE", &cache_budget)
+      .str("--csv", "F", &csv_file)
+      .str("--json", "F", &json_file)
+      .str("--runs", "F", &runs_file)
+      .toggle("--quiet", &quiet);
+  flags.parse(arg_rest(argc, argv, 3));
 
   if (cache_budget != 0 && cache_dir.empty()) {
     usage_error("--cache-budget needs --cache DIR");
@@ -265,36 +409,32 @@ int run_serve(int argc, char** argv) {
   }
   service::DaemonOptions opts;
   opts.spool_dir = argv[2];
+  std::string admin_addr, log_level;
   bool once = false;
-  for (int i = 3; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage_error("missing value for " + flag);
-      return argv[++i];
-    };
-    if (flag == "--cache-dir") {
-      opts.cache_dir = value();
-    } else if (flag == "--cache-budget") {
-      opts.cache_budget = flag_size(flag, value());
-    } else if (flag == "--threads") {
-      opts.threads = static_cast<unsigned>(flag_uint(flag, value(), 1u << 16));
-    } else if (flag == "--poll-ms") {
-      opts.poll_ms = static_cast<std::uint32_t>(flag_uint(flag, value(), 1u << 24));
-    } else if (flag == "--max-files") {
-      opts.max_files = flag_uint(flag, value());
-    } else if (flag == "--once") {
-      once = true;
-    } else {
-      usage_error("unknown serve flag " + flag);
-    }
-  }
+  FlagSet flags("serve", "serve <spool-dir>");
+  flags.str("--cache-dir", "DIR", &opts.cache_dir)
+      .size("--cache-budget", "SIZE", &opts.cache_budget)
+      .uint("--threads", "N", &opts.threads, 1u << 16)
+      .uint("--poll-ms", "M", &opts.poll_ms, 1u << 24)
+      .uint("--max-files", "K", &opts.max_files)
+      .toggle("--once", &once)
+      .str("--admin", "ADDR", &admin_addr)
+      .str("--log-level", "LEVEL", &log_level);
+  flags.parse(arg_rest(argc, argv, 3));
+  apply_log_level(log_level);
 
+  // One process registry shared by daemon, cache, and batch servers;
+  // declared before the daemon and admin endpoint that borrow it.
+  metrics::Registry registry;
+  opts.registry = &registry;
   std::optional<service::Daemon> daemon;
   try {
     daemon.emplace(opts);
   } catch (const std::exception& e) {
     usage_error(e.what());
   }
+  std::optional<net::AdminServer> admin;
+  start_admin(admin_addr, registry, admin);
   std::cout << "serving spool " << opts.spool_dir
             << (opts.cache_dir.empty() ? std::string(" (no cache)")
                                        : " (cache " + opts.cache_dir + ")")
@@ -333,37 +473,36 @@ extern "C" void handle_stop_signal(int) {
 /// client's SHUTDOWN frame.
 int run_serve_socket(int argc, char** argv) {
   service::SocketServerOptions opts;
-  std::string listen_addr;
+  std::string listen_addr, admin_addr, log_level;
+  // --listen is the mode selector, not an option of the mode: pull it
+  // (and its value) out first, then hand the rest to the table.
+  std::vector<std::string> rest;
   for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage_error("missing value for " + flag);
-      return argv[++i];
-    };
-    if (flag == "--listen") {
-      listen_addr = value();
-    } else if (flag == "--cache-dir") {
-      opts.cache_dir = value();
-    } else if (flag == "--cache-budget") {
-      opts.cache_budget = flag_size(flag, value());
-    } else if (flag == "--threads") {
-      opts.threads = static_cast<unsigned>(flag_uint(flag, value(), 1u << 16));
-    } else if (flag == "--lanes") {
-      opts.lanes = static_cast<unsigned>(flag_uint(flag, value(), 1u << 10));
-    } else if (flag == "--max-requests") {
-      opts.max_requests = flag_uint(flag, value());
-    } else if (flag == "--idle-timeout-ms") {
-      opts.idle_timeout_ms =
-          static_cast<std::uint32_t>(flag_uint(flag, value(), 1u << 30));
-    } else if (flag == "--max-frame") {
-      opts.max_frame_bytes = flag_size(flag, value());
-    } else if (flag == "--no-remote-shutdown") {
-      opts.allow_remote_shutdown = false;
+    if (std::string(argv[i]) == "--listen") {
+      if (i + 1 >= argc) usage_error("missing value for --listen");
+      listen_addr = argv[++i];
     } else {
-      usage_error("unknown serve --listen flag " + flag);
+      rest.emplace_back(argv[i]);
     }
   }
+  FlagSet flags("serve --listen", "serve --listen <path|host:port>");
+  flags.str("--cache-dir", "DIR", &opts.cache_dir)
+      .size("--cache-budget", "SIZE", &opts.cache_budget)
+      .uint("--threads", "N", &opts.threads, 1u << 16)
+      .uint("--lanes", "N", &opts.lanes, 1u << 10)
+      .uint("--max-requests", "K", &opts.max_requests)
+      .uint("--idle-timeout-ms", "M", &opts.idle_timeout_ms, 1u << 30)
+      .size("--max-frame", "SIZE", &opts.max_frame_bytes)
+      .toggle("--no-remote-shutdown", &opts.allow_remote_shutdown, false)
+      .str("--admin", "ADDR", &admin_addr)
+      .str("--log-level", "LEVEL", &log_level);
+  flags.parse(rest);
+  apply_log_level(log_level);
 
+  // One process registry shared by the server, its cache, and its batch
+  // servers; the admin endpoint scrapes all of it from one page.
+  metrics::Registry registry;
+  opts.registry = &registry;
   std::optional<service::SocketServer> server;
   try {
     opts.endpoint = net::parse_endpoint(listen_addr);
@@ -371,6 +510,8 @@ int run_serve_socket(int argc, char** argv) {
   } catch (const std::exception& e) {
     usage_error(e.what());
   }
+  std::optional<net::AdminServer> admin;
+  start_admin(admin_addr, registry, admin);
   g_socket_server.store(&*server);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
@@ -424,27 +565,13 @@ int run_submit(int argc, char** argv) {
   // appears" dance from every script that starts a server.
   std::uint32_t connect_timeout_ms = 5000;
   bool quiet = false;
-  for (int i = 4; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage_error("missing value for " + flag);
-      return argv[++i];
-    };
-    if (flag == "--summary") {
-      summary_file = value();
-    } else if (flag == "--runs") {
-      runs_file = value();
-    } else if (flag == "--report") {
-      report_file = value();
-    } else if (flag == "--connect-timeout-ms") {
-      connect_timeout_ms =
-          static_cast<std::uint32_t>(flag_uint(flag, value(), 1u << 30));
-    } else if (flag == "--quiet") {
-      quiet = true;
-    } else {
-      usage_error("unknown submit flag " + flag);
-    }
-  }
+  FlagSet flags("submit", "submit <path|host:port> <jobfile>");
+  flags.str("--summary", "F", &summary_file)
+      .str("--runs", "F", &runs_file)
+      .str("--report", "F", &report_file)
+      .uint("--connect-timeout-ms", "M", &connect_timeout_ms, 1u << 30)
+      .toggle("--quiet", &quiet);
+  flags.parse(arg_rest(argc, argv, 4));
 
   try {
     net::Client client = net::Client::connect_retry(net::parse_endpoint(addr),
@@ -503,30 +630,13 @@ int run_loadgen(int argc, char** argv) {
   std::uint64_t pipeline = 1;
   std::uint32_t connect_timeout_ms = 5000;
   bool quiet = false;
-  for (int i = 4; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage_error("missing value for " + flag);
-      return argv[++i];
-    };
-    if (flag == "--clients") {
-      clients = flag_uint(flag, value(), 4096);
-      if (clients == 0) usage_error("--clients must be positive");
-    } else if (flag == "--repeat") {
-      repeat = flag_uint(flag, value(), 1u << 20);
-      if (repeat == 0) usage_error("--repeat must be positive");
-    } else if (flag == "--pipeline") {
-      pipeline = flag_uint(flag, value(), 1u << 16);
-      if (pipeline == 0) usage_error("--pipeline must be positive");
-    } else if (flag == "--connect-timeout-ms") {
-      connect_timeout_ms =
-          static_cast<std::uint32_t>(flag_uint(flag, value(), 1u << 30));
-    } else if (flag == "--quiet") {
-      quiet = true;
-    } else {
-      usage_error("unknown loadgen flag " + flag);
-    }
-  }
+  FlagSet flags("loadgen", "loadgen <path|host:port> <jobfile>");
+  flags.uint("--clients", "K", &clients, 4096, 1)
+      .uint("--repeat", "R", &repeat, 1u << 20, 1)
+      .uint("--pipeline", "P", &pipeline, 1u << 16, 1)
+      .uint("--connect-timeout-ms", "M", &connect_timeout_ms, 1u << 30)
+      .toggle("--quiet", &quiet);
+  flags.parse(arg_rest(argc, argv, 4));
 
   std::ifstream is(job_file);
   if (!is) usage_error("cannot read job file " + job_file);
@@ -653,7 +763,11 @@ int run_cache(int argc, char** argv) {
 
   if (command == "stats") {
     if (argc > 4) usage_error("cache stats takes no flags");
-    const auto s = manager->stats();
+    // stats() refreshes the walk-derived gauges; the printed numbers then
+    // come from the registry snapshot — the same source /metrics reads.
+    static_cast<void>(manager->stats());
+    const auto s =
+        service::cache_dir_stats_from(manager->registry().snapshot());
     std::cout << "entries " << s.entries << "\n"
               << "bytes " << s.bytes << "\n"
               << "manifest_bytes " << s.manifest_bytes << "\n"
@@ -663,15 +777,9 @@ int run_cache(int argc, char** argv) {
 
   if (command == "ls") {
     std::uint64_t limit = 0;
-    for (int i = 4; i < argc; ++i) {
-      const std::string flag = argv[i];
-      if (flag == "--limit") {
-        if (i + 1 >= argc) usage_error("missing value for " + flag);
-        limit = flag_uint(flag, argv[++i]);
-      } else {
-        usage_error("unknown cache ls flag " + flag);
-      }
-    }
+    FlagSet flags("cache ls", "cache <dir> ls");
+    flags.uint("--limit", "N", &limit);
+    flags.parse(arg_rest(argc, argv, 4));
     // LRU first: the top of the listing is what gc would evict next.
     const auto entries = manager->entries_lru();
     Table t({"key", "bytes", "last_access"});
@@ -686,17 +794,15 @@ int run_cache(int argc, char** argv) {
   }
 
   if (command == "verify") {
-    service::RepairMode mode = service::RepairMode::kReport;
-    for (int i = 4; i < argc; ++i) {
-      const std::string flag = argv[i];
-      if (flag == "--quarantine") {
-        mode = service::RepairMode::kQuarantine;
-      } else if (flag == "--delete") {
-        mode = service::RepairMode::kDelete;
-      } else {
-        usage_error("unknown cache verify flag " + flag);
-      }
-    }
+    bool quarantine = false;
+    bool unlink = false;
+    FlagSet flags("cache verify", "cache <dir> verify");
+    flags.toggle("--quarantine", &quarantine).toggle("--delete", &unlink);
+    flags.parse(arg_rest(argc, argv, 4));
+    const service::RepairMode mode =
+        unlink ? service::RepairMode::kDelete
+               : quarantine ? service::RepairMode::kQuarantine
+                            : service::RepairMode::kReport;
     const auto report = manager->verify(mode);
     for (const auto& f : report.findings) {
       std::cout << "invalid " << f.path << " ("
@@ -714,16 +820,9 @@ int run_cache(int argc, char** argv) {
   if (command == "gc") {
     std::uint64_t budget = 0;
     bool have_budget = false;
-    for (int i = 4; i < argc; ++i) {
-      const std::string flag = argv[i];
-      if (flag == "--budget") {
-        if (i + 1 >= argc) usage_error("missing value for " + flag);
-        budget = flag_size(flag, argv[++i]);
-        have_budget = true;
-      } else {
-        usage_error("unknown cache gc flag " + flag);
-      }
-    }
+    FlagSet flags("cache gc", "cache <dir> gc");
+    flags.size("--budget", "SIZE", &budget, &have_budget);
+    flags.parse(arg_rest(argc, argv, 4));
     if (!have_budget) usage_error("cache gc needs --budget SIZE");
     const auto report = manager->gc(budget);
     std::cout << "evicted_entries " << report.evicted_entries << "\n"
@@ -753,11 +852,12 @@ int main(int argc, char** argv) {
            "[--cache-budget SIZE] [--csv F] [--json F] [--runs F] [--quiet]\n"
            "       distapx_cli serve <spool-dir> [--cache-dir DIR] "
            "[--cache-budget SIZE] [--threads N] [--poll-ms M] "
-           "[--max-files K] [--once]\n"
+           "[--max-files K] [--once] [--admin ADDR] [--log-level LEVEL]\n"
            "       distapx_cli serve --listen <path|host:port> "
            "[--cache-dir DIR] [--cache-budget SIZE] [--threads N] "
            "[--lanes N] [--max-requests K] [--idle-timeout-ms M] "
-           "[--max-frame SIZE] [--no-remote-shutdown]\n"
+           "[--max-frame SIZE] [--no-remote-shutdown] [--admin ADDR] "
+           "[--log-level LEVEL]\n"
            "       distapx_cli submit <path|host:port> <jobfile> "
            "[--summary F] [--runs F] [--report F] "
            "[--connect-timeout-ms M] [--quiet]\n"
@@ -780,28 +880,14 @@ int main(int argc, char** argv) {
   if (std::string(argv[1]) == "cache") return run_cache(argc, argv);
   Options opt;
   opt.algorithm = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage_error("missing value for " + flag);
-      return argv[++i];
-    };
-    if (flag == "--graph") {
-      opt.graph_file = value();
-    } else if (flag == "--gen") {
-      opt.gen_spec = value();
-    } else if (flag == "--seed") {
-      opt.seed = flag_uint(flag, value());
-    } else if (flag == "--eps") {
-      opt.eps = flag_double(flag, value());
-    } else if (flag == "--maxw") {
-      opt.max_w = static_cast<Weight>(flag_uint(flag, value(), 1u << 30));
-    } else if (flag == "--out") {
-      opt.out_file = value();
-    } else {
-      usage_error("unknown flag " + flag);
-    }
-  }
+  FlagSet flags("", "<algorithm>");
+  flags.str("--graph", "FILE", &opt.graph_file)
+      .str("--gen", "SPEC", &opt.gen_spec)
+      .uint("--seed", "S", &opt.seed)
+      .real("--eps", "E", &opt.eps)
+      .uint("--maxw", "W", &opt.max_w, 1u << 30)
+      .str("--out", "FILE", &opt.out_file);
+  flags.parse(arg_rest(argc, argv, 2));
 
   Rng rng(hash_combine(opt.seed, 0xc11));
   Graph g;
