@@ -1,11 +1,13 @@
 #include "service/cache_manager.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <system_error>
 #include <utility>
 
 #include "support/fsutil.hpp"
+#include "support/log.hpp"
 
 namespace distapx::service {
 
@@ -13,28 +15,37 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr const char* kManifestName = "manifest.log";
+/// Changelog base name: the on-disk files are manifest.log (tail) and
+/// manifest.snap (snapshot). "manifest.log" is deliberately the same path
+/// the pre-changelog text journal used, so a legacy directory is detected
+/// (foreign magic) and migrated rather than shadowed.
+constexpr const char* kManifestBase = "manifest";
 constexpr const char* kQuarantineName = "quarantine";
 
-/// Journal records tolerated per live entry before a flush compacts the
-/// manifest instead of appending — bounds manifest.log for a warm
-/// long-lived daemon whose every run is a touch.
+/// Tail records tolerated per live entry before a flush compacts the
+/// journal into a fresh snapshot instead of appending — bounds the
+/// manifest for a warm long-lived daemon whose every run is a touch.
 constexpr std::uint64_t kJournalSlack = 8;
 constexpr std::uint64_t kJournalSlop = 1024;
 
-/// True for the manager's own metadata paths, which a directory walk must
-/// not mistake for (foreign) cache content.
+/// True for the manager's own metadata paths (manifest.log, manifest.snap,
+/// their temp droppings, anything quarantined), which a directory walk
+/// must not mistake for (foreign) cache content.
 bool is_metadata_path(const fs::path& p, const fs::path& quarantine) {
   for (fs::path q = p; !q.empty() && q != q.root_path(); q = q.parent_path()) {
     if (q == quarantine) return true;
   }
   const std::string name = p.filename().string();
-  return name == kManifestName || name.rfind(kManifestName, 0) == 0;
+  return name.rfind(std::string(kManifestBase) + ".", 0) == 0;
 }
 
-}  // namespace
-
-namespace {
+/// The changelog payload for one manifest record (the line syntax minus
+/// the trailing newline — framing is the changelog's job).
+std::string record_payload(const ManifestRecord& rec) {
+  std::string line = format_manifest_line(rec);
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
+}
 
 /// The shared registry when one was passed, else a lazily-created private
 /// one — instrumentation stays unconditional with no null checks on the
@@ -56,15 +67,39 @@ CacheManager::CacheManager(std::string dir, metrics::Registry* registry)
       manifest_bytes_gauge_(reg_->gauge("cache_manifest_bytes")),
       quarantined_gauge_(reg_->gauge("cache_quarantined")),
       evicted_entries_(reg_->counter("cache_evicted_entries_total")),
-      evicted_bytes_(reg_->counter("cache_evicted_bytes_total")) {
+      evicted_bytes_(reg_->counter("cache_evicted_bytes_total")),
+      open_scans_(reg_->counter("cache_open_scans_total")),
+      open_replays_(reg_->counter("cache_open_replays_total")),
+      append_failures_(reg_->counter("manifest_append_failures_total")) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_)) {
     throw JobError("cannot open cache directory " + dir_ + ": " +
                    ec.message());
   }
+  const std::vector<ManifestRecord> legacy = open_journal();
+
   const std::lock_guard<std::mutex> lock(mu_);
-  scan_locked();
+  std::uint64_t replayed = 0;
+  replay_locked(&replayed);
+  const bool journal_has_state =
+      replayed > 0 || fs::exists(changelog_->snapshot_path(), ec);
+  if (journal_has_state) {
+    // O(snapshot + tail): the accounting came entirely from the journal;
+    // not one entry file was opened or stat'd.
+    open_replays_.inc();
+  } else {
+    // No journal state (fresh dir, filled by unbudgeted writers that keep
+    // no journal, or a just-migrated legacy manifest): the directory walk
+    // is the only source of truth; legacy records seed the access order.
+    open_scans_.inc();
+    scan_locked(legacy);
+    // Persist what the scan found so the *next* open replays instead of
+    // walking. An empty result writes nothing: a bare directory must stay
+    // bare (and must not pin a stale empty snapshot over entries an
+    // unbudgeted writer adds later).
+    if (!entries_.empty()) checkpoint_locked();
+  }
 }
 
 CacheManager::~CacheManager() {
@@ -72,23 +107,88 @@ CacheManager::~CacheManager() {
   flush_journal_locked();
 }
 
+std::vector<ManifestRecord> CacheManager::open_journal() {
+  const std::string base = dir_ + "/" + kManifestBase;
+  try {
+    changelog_.emplace(base);
+    return {};
+  } catch (const ChangelogError&) {
+    // Pre-changelog manifest.log (line-oriented text journal), or a
+    // corrupted header: salvage what the text reader can parse for
+    // recency, then rebuild the files in changelog format. Entry files —
+    // the ground truth — are untouched either way.
+  }
+  std::vector<ManifestRecord> legacy = read_manifest(base + ".log");
+  std::error_code ec;
+  fs::remove(base + ".log", ec);
+  fs::remove(base + ".snap", ec);
+  try {
+    changelog_.emplace(base);
+  } catch (const ChangelogError& e) {
+    throw JobError("cannot open cache journal in " + dir_ + ": " + e.what());
+  }
+  if (!legacy.empty()) {
+    logx::info("cache_manifest_migrated",
+               {{"dir", dir_}, {"legacy_records", legacy.size()}});
+  }
+  return legacy;
+}
+
 std::string CacheManager::manifest_path() const {
-  return dir_ + "/" + kManifestName;
+  return dir_ + "/" + kManifestBase;
 }
 
 std::string CacheManager::quarantine_dir() const {
   return dir_ + "/" + kQuarantineName;
 }
 
-void CacheManager::scan_locked() {
-  // Disk is ground truth for existence and size; the journal only adds
-  // recency. Journal-known order survives a rescan because replay assigns
-  // sequences in line order every time. (Callers flush pending appends
-  // before rescanning so no recorded access is dropped.)
+void CacheManager::apply_record_locked(const ManifestRecord& rec) {
+  if (rec.fields.empty()) return;
+  const std::string& hex = rec.fields[0];
+  if (!Fingerprint::from_hex(hex)) return;  // malformed key: skip
+  if (rec.tag == "F" && rec.fields.size() >= 2) {
+    char* end = nullptr;
+    const std::uint64_t size = std::strtoull(rec.fields[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return;
+    Entry& e = entries_[hex];
+    live_bytes_ += size - e.size;  // idempotent upsert (replay may repeat)
+    e.size = size;
+    e.last_access = next_access_++;
+  } else if (rec.tag == "T") {
+    const auto it = entries_.find(hex);
+    if (it != entries_.end()) it->second.last_access = next_access_++;
+  }
+}
+
+void CacheManager::replay_locked(std::uint64_t* replayed_records) {
   entries_.clear();
   live_bytes_ = 0;
   next_access_ = 1;
-  journal_records_ = 0;
+  std::uint64_t n = 0;
+  const ChangelogState& state = changelog_->replayed();
+  for (const std::string& payload : state.snapshot) {
+    if (const auto rec = parse_manifest_line(payload)) {
+      apply_record_locked(*rec);
+      ++n;
+    }
+  }
+  for (const std::string& payload : state.tail) {
+    if (const auto rec = parse_manifest_line(payload)) {
+      apply_record_locked(*rec);
+      ++n;
+    }
+  }
+  if (replayed_records != nullptr) *replayed_records = n;
+  publish_gauges_locked();
+}
+
+void CacheManager::scan_locked(const std::vector<ManifestRecord>& recency) {
+  // Disk is ground truth for existence and size; the recency records only
+  // add access order (entries they do not mention rank least-recent with
+  // the hex tie-break).
+  entries_.clear();
+  live_bytes_ = 0;
+  next_access_ = 1;
 
   const fs::path quarantine(quarantine_dir());
   std::error_code ec;
@@ -108,8 +208,7 @@ void CacheManager::scan_locked() {
     live_bytes_ += size;
   }
 
-  for (const ManifestRecord& rec : read_manifest(manifest_path())) {
-    ++journal_records_;
+  for (const ManifestRecord& rec : recency) {
     if (rec.fields.empty()) continue;
     const auto it = entries_.find(rec.fields[0]);
     if (it == entries_.end()) continue;  // journal mentions a gone entry
@@ -132,20 +231,55 @@ void CacheManager::buffer_journal_locked(ManifestRecord record) {
 
 void CacheManager::flush_journal_locked() {
   if (pending_journal_.empty()) return;
-  // Once the on-disk journal carries far more records than there are live
-  // entries, appending is wasted churn: compact instead (the in-memory
-  // map already reflects every pending record). This bounds manifest.log
-  // for a warm daemon that only ever touches.
-  if (journal_records_ + pending_journal_.size() >
+  // Once the on-disk tail carries far more records than there are live
+  // entries, appending is wasted churn: compact into a fresh snapshot
+  // instead (the in-memory map already reflects every pending record).
+  // This bounds the journal for a warm daemon that only ever touches.
+  if (changelog_->tail_records() + pending_journal_.size() >
       kJournalSlack * entries_.size() + kJournalSlop) {
-    compact_manifest_locked();
-  } else if (append_manifest(manifest_path(), pending_journal_)) {
-    journal_records_ += pending_journal_.size();
+    checkpoint_locked();
+    return;
   }
-  // Advisory: records that could not be persisted (read-only dir, disk
-  // full, failed compaction) are dropped, not accumulated — LRU precision
-  // degrades, memory stays bounded, correctness is untouched.
+  std::vector<std::string> payloads;
+  payloads.reserve(pending_journal_.size());
+  for (const ManifestRecord& r : pending_journal_) {
+    payloads.push_back(record_payload(r));
+  }
+  // One write + one fdatasync for the whole batch. Records that could not
+  // be persisted are dropped, not accumulated — LRU precision degrades,
+  // memory stays bounded, correctness is untouched — but the failure is
+  // counted and logged (disk full and read-only mounts must not be
+  // silent).
+  if (!changelog_->append_batch(payloads)) {
+    append_failures_.inc();
+    logx::warn("manifest_append_failed",
+               {{"dir", dir_}, {"records", payloads.size()}});
+  }
   pending_journal_.clear();
+}
+
+void CacheManager::checkpoint_locked() {
+  // One F record per survivor in access order, so a replay reconstructs
+  // the same LRU ranking from a minimal journal. Pending appends are
+  // subsumed: the in-memory map already reflects them.
+  std::vector<std::string> records;
+  records.reserve(entries_.size());
+  for (const auto& [hex, e] : lru_sorted_locked()) {
+    records.push_back(
+        record_payload({"F", {hex, std::to_string(e.size)}}));
+  }
+  if (!changelog_->snapshot(records)) {
+    append_failures_.inc();
+    logx::warn("manifest_snapshot_failed",
+               {{"dir", dir_}, {"records", records.size()}});
+    return;
+  }
+  pending_journal_.clear();
+}
+
+void CacheManager::checkpoint() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  checkpoint_locked();
 }
 
 void CacheManager::record_put(const Fingerprint& key, std::uint64_t size) {
@@ -164,7 +298,7 @@ void CacheManager::record_get(const Fingerprint& key) {
   const std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(hex);
   if (it == entries_.end()) {
-    // Filled by another process since our scan: adopt it so its recency
+    // Filled by another process since our open: adopt it so its recency
     // is tracked and its bytes count against the budget.
     std::error_code ec;
     const std::uint64_t size =
@@ -221,11 +355,11 @@ CacheDirStats CacheManager::stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
     s.entries = entries_.size();
     s.bytes = live_bytes_;
+    // Under mu_ so a concurrent clear() cannot re-seat changelog_ between
+    // the null-check the optional implies and the call.
+    s.manifest_bytes = changelog_->payload_bytes();
   }
   std::error_code ec;
-  const auto manifest_size = fs::file_size(manifest_path(), ec);
-  s.manifest_bytes = ec ? 0 : manifest_size;
-  ec.clear();
   for (fs::directory_iterator it(quarantine_dir(), ec), end; !ec && it != end;
        it.increment(ec)) {
     if (it->is_regular_file(ec)) ++s.quarantined;
@@ -270,27 +404,12 @@ GcReport CacheManager::gc(std::uint64_t budget_bytes) {
   if (report.evicted_entries > 0) {
     evicted_entries_.inc(report.evicted_entries);
     evicted_bytes_.inc(report.evicted_bytes);
-    compact_manifest_locked();
+    checkpoint_locked();
   }
   publish_gauges_locked();
   report.live_entries = entries_.size();
   report.live_bytes = live_bytes_;
   return report;
-}
-
-void CacheManager::compact_manifest_locked() {
-  // Rewrite as one F line per survivor in access order, so a replay
-  // reconstructs the same LRU ranking from a minimal journal. Pending
-  // appends are subsumed: the in-memory map already reflects them.
-  std::vector<ManifestRecord> records;
-  records.reserve(entries_.size());
-  for (const auto& [hex, e] : lru_sorted_locked()) {
-    records.push_back({"F", {hex, std::to_string(e.size)}});
-  }
-  if (compact_manifest(manifest_path(), records)) {
-    journal_records_ = records.size();
-    pending_journal_.clear();
-  }
 }
 
 VerifyReport CacheManager::verify(RepairMode mode) {
@@ -311,6 +430,7 @@ VerifyReport CacheManager::verify(RepairMode mode) {
   }
   std::sort(files.begin(), files.end());  // deterministic report order
 
+  bool adopted = false;
   for (const fs::path& p : files) {
     if (is_metadata_path(p, quarantine)) continue;
     const auto key = key_from_entry_path(p.string());
@@ -322,8 +442,21 @@ VerifyReport CacheManager::verify(RepairMode mode) {
     }
     ++report.checked;
     const EntryStatus status = check_entry_file(p.string(), *key, nullptr);
+    const std::string hex = key->hex();
     if (status == EntryStatus::kOk) {
       ++report.ok;
+      // The walk is ground truth: a valid entry the journal never saw
+      // (unbudgeted writer, stale snapshot) joins the accounting here, so
+      // a verify doubles as reconciliation.
+      if (entries_.count(hex) == 0) {
+        std::error_code size_ec;
+        const std::uint64_t size = fs::file_size(p, size_ec);
+        if (!size_ec) {
+          entries_.emplace(hex, Entry{size, 0});
+          live_bytes_ += size;
+          adopted = true;
+        }
+      }
       continue;
     }
     ++report.invalid;
@@ -333,7 +466,6 @@ VerifyReport CacheManager::verify(RepairMode mode) {
     finding.status = status;
     report.findings.push_back(std::move(finding));
 
-    const std::string hex = key->hex();
     if (mode == RepairMode::kDelete) {
       std::error_code rm;
       fs::remove(p, rm);
@@ -361,8 +493,8 @@ VerifyReport CacheManager::verify(RepairMode mode) {
       }
     }
   }
-  if (mode != RepairMode::kReport && report.invalid > 0) {
-    compact_manifest_locked();
+  if (adopted || (mode != RepairMode::kReport && report.invalid > 0)) {
+    checkpoint_locked();
   }
   publish_gauges_locked();
   return report;
@@ -380,10 +512,19 @@ std::uint64_t CacheManager::clear() {
   next_access_ = 1;
   publish_gauges_locked();
   pending_journal_.clear();
-  journal_records_ = 0;
+  // Drop the journal wholesale: close it, unlink both files, reopen
+  // fresh (a cleared cache carries no metadata, not an empty snapshot).
+  changelog_.reset();
   std::error_code ec;
-  fs::remove(manifest_path(), ec);
+  fs::remove(manifest_path() + ".log", ec);
+  fs::remove(manifest_path() + ".snap", ec);
   fs::remove_all(quarantine_dir(), ec);
+  try {
+    changelog_.emplace(manifest_path());
+  } catch (const ChangelogError& e) {
+    throw JobError("cannot reopen cache journal in " + dir_ + ": " +
+                   e.what());
+  }
   // Drop now-empty fan-out directories (non-empty ones — e.g. a foreign
   // file — survive; fs::remove refuses non-empty dirs).
   for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
@@ -397,7 +538,46 @@ std::uint64_t CacheManager::clear() {
 void CacheManager::rescan() {
   const std::lock_guard<std::mutex> lock(mu_);
   flush_journal_locked();
-  scan_locked();
+  // Walk the directory for ground truth, carrying over the access order
+  // this manager already knows (in-memory is at least as fresh as the
+  // journal it just flushed). New keys rank least-recent.
+  const std::map<std::string, Entry> known = std::move(entries_);
+  scan_locked({});
+  for (auto& [hex, e] : entries_) {
+    if (const auto it = known.find(hex); it != known.end()) {
+      e.last_access = it->second.last_access;
+    }
+  }
+  publish_gauges_locked();
+  checkpoint_locked();
+}
+
+PrewarmReport CacheManager::prewarm() const {
+  // Snapshot the key list under the lock, read files outside it: a
+  // prewarm must not stall concurrent record_put/record_get for the
+  // duration of the disk reads.
+  std::vector<std::pair<std::string, std::uint64_t>> keys;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    keys.reserve(entries_.size());
+    for (const auto& [hex, e] : lru_sorted_locked()) {
+      keys.emplace_back(hex, e.size);
+    }
+  }
+  PrewarmReport report;
+  for (const auto& [hex, size] : keys) {
+    const auto key = Fingerprint::from_hex(hex);
+    if (!key) continue;
+    ++report.checked;
+    if (check_entry_file(cache_entry_path(dir_, hex), *key, nullptr) ==
+        EntryStatus::kOk) {
+      ++report.ok;
+      report.bytes += size;
+    } else {
+      ++report.invalid;
+    }
+  }
+  return report;
 }
 
 }  // namespace distapx::service

@@ -3,15 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
-#include <fstream>
 #include <memory>
 #include <thread>
 
 #include "service/batch_server.hpp"
 #include "service/job_spec.hpp"
 #include "service/report_sink.hpp"
+#include "support/failpoint.hpp"
 #include "support/fsutil.hpp"
 #include "support/log.hpp"
+#include "support/manifest.hpp"
 
 namespace distapx::service {
 
@@ -41,13 +42,25 @@ void move_file(const fs::path& from, const fs::path& to) {
   }
 }
 
-/// Publication must not silently truncate: a short runs.csv reported as
-/// success would be a corrupt determinism witness.
+/// Durable publication (temp + fdatasync + rename + dir fsync, per the
+/// process durability knob). Must not silently truncate *or tear*: a
+/// short runs.csv surviving a power loss would be a corrupt determinism
+/// witness that looks published.
 void write_text(const fs::path& path, const std::string& text) {
-  std::ofstream os(path);
-  os << text;
-  os.flush();
-  if (!os) throw JobError("cannot write " + path.string());
+  std::string err;
+  if (!fsutil::write_file_durable(path, text, &err)) {
+    throw JobError("cannot write " + path.string() + ": " + err);
+  }
+}
+
+/// True iff every published artifact of `name` exists in done/ — the
+/// resume precondition (a P record with a missing done-file means the
+/// predecessor died mid-publication; recompute from scratch instead).
+bool publication_complete(const fs::path& done, const std::string& name) {
+  std::error_code ec;
+  return fs::is_regular_file(done / (name + ".summary.csv"), ec) &&
+         fs::is_regular_file(done / (name + ".runs.csv"), ec) &&
+         fs::is_regular_file(done / (name + ".report.txt"), ec);
 }
 
 }  // namespace
@@ -68,6 +81,45 @@ Daemon::Daemon(DaemonOptions opts) : opts_(std::move(opts)) {
   } else if (opts_.cache_budget != 0) {
     throw JobError("cache_budget needs a cache_dir");
   }
+
+  try {
+    journal_.emplace(opts_.spool_dir + "/journal");
+  } catch (const ChangelogError& e) {
+    throw JobError("cannot open spool journal in " + opts_.spool_dir + ": " +
+                   e.what());
+  }
+  // Replay the predecessor's claim/publish records: a `P` without its `D`
+  // is a job whose results were published but whose spool move never
+  // durably completed.
+  const auto apply = [this](const std::string& payload) {
+    const auto rec = parse_manifest_line(payload);
+    if (!rec || rec->fields.empty()) return;
+    if (rec->tag == "P") {
+      published_.insert(rec->fields[0]);
+    } else if (rec->tag == "D") {
+      published_.erase(rec->fields[0]);
+    }
+  };
+  for (const std::string& p : journal_->replayed().snapshot) apply(p);
+  for (const std::string& p : journal_->replayed().tail) apply(p);
+  // A claim whose job file already left the spool crashed *after* the
+  // move, before its D record: the work is fully done — settle it now.
+  // What survives in published_ is picked up by process_file as a resume.
+  for (auto it = published_.begin(); it != published_.end();) {
+    std::error_code ec;
+    if (fs::is_regular_file(fs::path(opts_.spool_dir) / (*it + ".job"), ec)) {
+      ++it;
+    } else {
+      it = published_.erase(it);
+    }
+  }
+  // Compact: the journal restarts as a snapshot of still-pending claims,
+  // so it never accumulates a long-lived daemon's full history.
+  std::vector<std::string> pending;
+  pending.reserve(published_.size());
+  for (const std::string& name : published_) pending.push_back("P " + name);
+  std::sort(pending.begin(), pending.end());
+  journal_->snapshot(pending);
 }
 
 JobFileReport Daemon::process_file(const std::string& path) {
@@ -78,6 +130,23 @@ JobFileReport Daemon::process_file(const std::string& path) {
   const fs::path failed = fs::path(opts_.spool_dir) / "failed";
 
   try {
+    // Resume: a crashed predecessor journaled `P name` and the done files
+    // are complete — the only thing missing is the spool move. Finish it
+    // without recomputing and without touching one published byte, so no
+    // consumer can ever observe a second (even bit-identical) publication.
+    if (published_.count(report.name) != 0 &&
+        publication_complete(done, report.name)) {
+      move_file(job_path, done / job_path.filename());
+      journal_->append("D " + report.name);
+      published_.erase(report.name);
+      report.ok = true;
+      report.resumed = true;
+      reg_->counter("spool_resumed_total").inc();
+      reg_->counter("spool_files_served_total").inc();
+      logx::info("job_file_resumed", {{"file", report.name}});
+      return report;
+    }
+
     BatchOptions batch_opts;
     batch_opts.threads = opts_.threads;
     batch_opts.cache = cache();
@@ -103,12 +172,26 @@ JobFileReport Daemon::process_file(const std::string& path) {
     write_text(done / (report.name + ".summary.csv"), rendered.summary_csv);
     write_text(done / (report.name + ".runs.csv"), rendered.runs_csv);
     write_text(done / (report.name + ".report.txt"), rendered.report_txt);
+    // `P name` lands durably (the append fdatasyncs) before the move: a
+    // crash anywhere in the publish->move window is now recoverable as a
+    // resume instead of a recompute-and-republish. An append failure only
+    // costs that recoverability — the publication itself already
+    // succeeded — so it degrades, not throws.
+    if (!journal_->append("P " + report.name)) {
+      logx::warn("spool_journal_append_failed", {{"file", report.name}});
+    }
+    failpoint::hit("daemon_publish_move");
     move_file(job_path, done / job_path.filename());
+    journal_->append("D " + report.name);
     reg_->counter("spool_files_served_total").inc();
     logx::info("job_file_served", {{"file", report.name},
                                    {"runs", report.runs},
                                    {"cache_hits", report.cache_hits},
                                    {"computed", report.computed}});
+  } catch (const failpoint::Failure&) {
+    // A simulated crash must behave like a real one: unwind out of the
+    // daemon entirely rather than being quarantined as a bad job file.
+    throw;
   } catch (const std::exception& e) {
     // Quarantine: the diagnostic (with its line number, for parse errors)
     // lands next to the offending file and the daemon keeps serving.

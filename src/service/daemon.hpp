@@ -17,7 +17,21 @@
 //   <spool>/done/NAME.report.txt  served/computed/hit-rate counters
 //   <spool>/failed/NAME.job       quarantined malformed file
 //   <spool>/failed/NAME.error     its line-numbered diagnostic
+//   <spool>/journal.{log,snap}    claim/publish changelog (crash recovery)
 //   <spool>/stop                  sentinel: daemon removes it and exits
+//
+// Crash safety: results are published with write_file_durable (temp +
+// fdatasync + rename + directory fsync), and the publish -> move window is
+// journaled in a write-ahead changelog (support/changelog.hpp): `P NAME`
+// lands durably after the three done-files exist and before the job file
+// moves, `D NAME` after the move. A daemon restarted over a spool whose
+// predecessor died inside that window finds the P-without-D record, sees
+// the done files already complete, and *resumes*: it finishes the move
+// without recomputing and without rewriting a single published byte —
+// each result is published exactly once (spool_resumed_total counts
+// these). A P-without-D whose job file already left the spool (crash
+// after move, before D) is settled at startup. The journal is compacted
+// to a snapshot of still-pending claims on every open.
 //
 // Determinism contract: NAME.summary.csv and NAME.runs.csv are pure
 // functions of the job file's content (and kEngineVersion) — independent
@@ -42,6 +56,7 @@
 #include <vector>
 
 #include "service/result_cache.hpp"
+#include "support/changelog.hpp"
 
 namespace distapx::service {
 
@@ -74,6 +89,11 @@ struct DaemonOptions {
 struct JobFileReport {
   std::string name;   ///< job-file stem ("sweep" for sweep.job)
   bool ok = false;
+  /// True when this file's results were already published by a previous
+  /// (crashed) daemon and only the spool move was finished here — no
+  /// recompute, no rewrite, and the run counters below stay zero (the
+  /// published report.txt has the originals).
+  bool resumed = false;
   std::string error;  ///< the quarantining diagnostic when !ok
   std::uint64_t runs = 0;
   std::uint64_t cache_hits = 0;
@@ -123,6 +143,8 @@ class Daemon {
   }
   /// The registry this daemon instruments (configured or private).
   [[nodiscard]] metrics::Registry& registry() noexcept { return *reg_; }
+  /// The claim/publish journal (for tests asserting record counts).
+  [[nodiscard]] const Changelog& journal() const noexcept { return *journal_; }
 
  private:
   DaemonOptions opts_;
@@ -131,6 +153,12 @@ class Daemon {
   std::unique_ptr<metrics::Registry> own_registry_;
   metrics::Registry* reg_ = nullptr;
   std::optional<ResultCache> cache_;  ///< engaged iff cache_dir is set
+  /// Claim/publish changelog at <spool>/journal; always engaged after
+  /// construction (optional only for deferred init).
+  std::optional<Changelog> journal_;
+  /// Job names with a replayed `P` record and no `D`: published by a
+  /// crashed predecessor, awaiting resume. Drained by process_file.
+  std::unordered_set<std::string> published_;
   std::atomic<bool> stop_{false};
   std::uint64_t served_ = 0;
   /// Job-file names that could not be moved out of the spool: skipped by

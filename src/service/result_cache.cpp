@@ -10,6 +10,7 @@
 
 #include "graph/genspec.hpp"
 #include "service/cache_manager.hpp"
+#include "support/fsutil.hpp"
 
 namespace distapx::service {
 
@@ -317,12 +318,23 @@ void ResultCache::store(const Fingerprint& key, const RunRow& row) {
       throw JobError("cannot write cache entry " + tmp);
     }
   }
+  // Entry data must be on stable storage before the rename publishes the
+  // name: a power loss after an unsynced rename can surface an empty or
+  // torn entry under a valid name (check_entry_file would reject it, but
+  // the recompute it forces is exactly what the cache exists to avoid).
+  // No-op under --durability none.
+  if (!fsutil::sync_file(tmp)) {
+    fs::remove(tmp, ec);
+    throw JobError("cannot sync cache entry " + tmp);
+  }
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
     throw JobError("cannot publish cache entry " + path + ": " +
                    ec.message());
   }
+  // And the rename itself (the directory entry) must survive too.
+  fsutil::sync_dir(fs::path(path).parent_path());
   stores_.inc();
   if (manager_) {
     manager_->record_put(key, buf.size());

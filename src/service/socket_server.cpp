@@ -42,10 +42,44 @@ struct PendingJob {
 struct Completion {
   std::uint64_t conn_id = 0;
   std::uint64_t conn_seq = 0;
+  std::uint64_t submit_no = 0;  ///< for the journal's R record
   bool ok = false;
   net::ResultPayload result;  ///< when ok
   std::string error;          ///< when !ok
 };
+
+/// Journal record codecs. The S payload carries the raw job-file bytes
+/// (arbitrary content, newlines included), so this is a positional split
+/// on the first two spaces, not the whitespace-tokenized manifest syntax.
+std::string encode_submit_record(std::uint64_t submit_no,
+                                 std::string_view payload) {
+  std::string rec = "S " + std::to_string(submit_no) + " ";
+  rec.append(payload);
+  return rec;
+}
+
+/// Parses "S <no> <payload>" / "R <no>"; false for anything else.
+bool parse_journal_record(const std::string& rec, char& tag,
+                          std::uint64_t& submit_no, std::string& payload) {
+  if (rec.size() < 2 || (rec[0] != 'S' && rec[0] != 'R') || rec[1] != ' ') {
+    return false;
+  }
+  tag = rec[0];
+  std::size_t pos = 2;
+  std::uint64_t no = 0;
+  bool digits = false;
+  while (pos < rec.size() && rec[pos] >= '0' && rec[pos] <= '9') {
+    no = no * 10 + static_cast<std::uint64_t>(rec[pos] - '0');
+    ++pos;
+    digits = true;
+  }
+  if (!digits) return false;
+  submit_no = no;
+  if (tag == 'R') return pos == rec.size();
+  if (pos >= rec.size() || rec[pos] != ' ') return false;
+  payload = rec.substr(pos + 1);
+  return true;
+}
 
 /// One client connection's state machine.
 struct Conn {
@@ -175,6 +209,60 @@ SocketServer::SocketServer(SocketServerOptions opts)
   } else if (opts_.cache_budget != 0) {
     throw JobError("cache_budget needs a cache_dir");
   }
+  if (!opts_.journal_path.empty()) {
+    try {
+      journal_.emplace(opts_.journal_path);
+    } catch (const ChangelogError& e) {
+      throw JobError("cannot open submit journal " + opts_.journal_path +
+                     ": " + e.what());
+    }
+    // Recover: S-without-R records are jobs a crashed predecessor
+    // accepted but never finished. Their connections are gone — clients
+    // will retry — so the point of re-executing them is the *cache*: the
+    // retries land on warm entries instead of recomputing every row.
+    // Without a cache there is nothing a recovery could usefully write,
+    // so the records are just dropped.
+    std::map<std::uint64_t, std::string> unfinished;
+    const auto apply = [&unfinished](const std::string& rec) {
+      char tag = 0;
+      std::uint64_t no = 0;
+      std::string payload;
+      if (!parse_journal_record(rec, tag, no, payload)) return;
+      if (tag == 'S') {
+        unfinished.emplace(no, std::move(payload));
+      } else {
+        unfinished.erase(no);
+      }
+    };
+    for (const std::string& r : journal_->replayed().snapshot) apply(r);
+    for (const std::string& r : journal_->replayed().tail) apply(r);
+    if (!unfinished.empty() && cache_) {
+      metrics::Counter& recovered =
+          reg_->counter("socket_recovered_jobs_total");
+      for (const auto& [no, payload] : unfinished) {
+        try {
+          std::istringstream is(payload);
+          BatchOptions batch_opts;
+          batch_opts.threads = opts_.threads;
+          batch_opts.cache = &*cache_;
+          batch_opts.registry = reg_;
+          BatchServer server(batch_opts);
+          server.submit_all(parse_job_file(is));
+          server.serve();
+          recovered.inc();
+          logx::info("socket_job_recovered", {{"submit_no", no}});
+        } catch (const std::exception& e) {
+          // A job that was malformed before the crash is malformed now;
+          // its client got no answer and will learn so on retry.
+          logx::warn("socket_job_recovery_failed",
+                     {{"submit_no", no}, {"err", e.what()}});
+        }
+      }
+    }
+    // Start clean: recovery consumed every pending claim, and history
+    // must not replay twice.
+    journal_->snapshot({});
+  }
   listener_ = net::Listener::open(opts_.endpoint);
   ep_ = listener_->endpoint();
 }
@@ -212,6 +300,7 @@ SocketServerStats SocketServer::run() {
     Completion done;
     done.conn_id = job.conn_id;
     done.conn_seq = job.conn_seq;
+    done.submit_no = job.submit_no;
     try {
       std::istringstream is(job.payload);
       BatchOptions batch_opts;
@@ -288,6 +377,12 @@ SocketServerStats SocketServer::run() {
         // pre-lane semantics where a reaped client's finished job still
         // counted. The drop itself shows up in jobs_dropped.
         (done.ok ? counters.results_ok : counters.results_error).inc();
+        // Retire the claim (ERR counts too: re-running a malformed job
+        // recovers nothing). The changelog's own mutex serializes this
+        // against the I/O thread's S appends.
+        if (journal_) {
+          journal_->append("R " + std::to_string(done.submit_no));
+        }
         {
           std::lock_guard lock(mu);
           --executing;
@@ -445,6 +540,15 @@ SocketServerStats SocketServer::run() {
         // inc() returns the post-increment value: the counter itself is
         // the submit-number sequence, no shadow variable.
         const std::uint64_t submit_no = counters.submits_accepted.inc();
+        // The claim must be durable before the job can execute: once a
+        // lane may have stored partial cache entries, a crash must find
+        // the S record or recovery has nothing to finish. An append
+        // failure costs recoverability for this one job, nothing else.
+        if (journal_ &&
+            !journal_->append(encode_submit_record(submit_no,
+                                                   frame.payload))) {
+          logx::warn("socket_journal_append_failed", {{"no", submit_no}});
+        }
         ++conn.inflight;
         ++inflight_total;
         const std::uint64_t conn_seq = conn.next_submit_seq++;
@@ -674,6 +778,13 @@ SocketServerStats SocketServer::run() {
 
     if (pfds[0].revents & POLLIN) pipe_.drain();
     deliver_completions();
+    // Idle compaction: with nothing in flight every S has its R, so the
+    // whole tail is settled history — cut it to an empty snapshot. The
+    // journal's steady-state size is the in-flight window, not the
+    // server's lifetime submit count.
+    if (journal_ && inflight_total == 0 && journal_->tail_records() > 0) {
+      journal_->snapshot({});
+    }
     if (stop_.load()) begin_drain();
 
     if (listener_ && !draining) {

@@ -47,6 +47,17 @@
 // max_requests. All three drain gracefully: stop accepting, finish
 // queued jobs, flush responses (bounded by idle_timeout_ms for peers
 // that stop reading), then return from run().
+//
+// Crash recovery (opt-in via journal_path): every accepted SUBMIT is
+// journaled durably (`S no payload`, the raw job-file bytes) in a
+// write-ahead changelog before it is queued, and marked done (`R no`) at
+// completion. A server restarted over that journal re-executes the
+// S-without-R jobs through its cache-backed BatchServer *before the
+// listener opens* — not to re-deliver responses (those connections are
+// gone; clients retry), but to prewarm the cache so the retries hit warm
+// entries instead of recomputing (socket_recovered_jobs_total). The
+// journal is compacted to empty at startup and whenever the server goes
+// idle, so it holds in-flight work only, never history.
 #pragma once
 
 #include <atomic>
@@ -56,6 +67,7 @@
 
 #include "net/socket.hpp"
 #include "service/result_cache.hpp"
+#include "support/changelog.hpp"
 #include "support/fdio.hpp"
 #include "support/metrics.hpp"
 
@@ -79,6 +91,10 @@ struct SocketServerOptions {
   /// Cache byte budget (ResultCache open-with-budget semantics); nonzero
   /// without cache_dir is a JobError.
   std::uint64_t cache_budget = 0;
+  /// Changelog base path for the submit journal (files journal_path +
+  /// ".log"/".snap"); empty = no journal. Costs one durable append per
+  /// SUBMIT on the I/O thread; buys cache-prewarming crash recovery.
+  std::string journal_path;
   /// Cap on one frame's declared payload length; a SUBMIT announcing
   /// more is rejected from its header alone.
   std::size_t max_frame_bytes = 16u << 20;
@@ -162,6 +178,10 @@ class SocketServer {
   /// The registry this server instruments (the configured one, or the
   /// private fallback). An admin endpoint scrapes this.
   [[nodiscard]] metrics::Registry& registry() noexcept { return *reg_; }
+  /// Null when no journal_path was configured.
+  [[nodiscard]] const Changelog* journal() const noexcept {
+    return journal_ ? &*journal_ : nullptr;
+  }
 
  private:
   SocketServerOptions opts_;
@@ -172,6 +192,10 @@ class SocketServer {
   net::Endpoint ep_;
   std::optional<net::Listener> listener_;  ///< reset when draining begins
   std::optional<ResultCache> cache_;       ///< engaged iff cache_dir is set
+  /// Submit journal (engaged iff journal_path is set). The changelog's
+  /// internal mutex covers the I/O thread's S appends racing the lanes'
+  /// R appends.
+  std::optional<Changelog> journal_;
   fdio::Pipe pipe_;                        ///< wakes poll from stop/executor
   std::atomic<bool> stop_{false};
 };

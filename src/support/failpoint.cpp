@@ -1,0 +1,92 @@
+#include "support/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace distapx::failpoint {
+
+namespace {
+
+/// Number of currently-armed failpoints: the only state the hot path
+/// reads. 0 means hit() returns after one relaxed load.
+std::atomic<int> g_armed_count{0};
+std::atomic<std::uint64_t> g_hits_total{0};
+
+std::mutex& mu() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, Mode>& armed_map() {
+  static std::map<std::string, Mode> m;
+  return m;
+}
+
+/// Parses DISTAPX_FAILPOINT ("name" or "name:abort") exactly once per
+/// process, on the first hit(). Lets CI crash a CLI binary at a named
+/// instant without any test-only flag surface.
+void arm_from_env_once() {
+  static const bool done = [] {
+    const char* env = std::getenv("DISTAPX_FAILPOINT");
+    if (env == nullptr || *env == '\0') return true;
+    std::string spec(env);
+    Mode mode = Mode::kThrow;
+    if (const auto colon = spec.rfind(":abort");
+        colon != std::string::npos && colon + 6 == spec.size()) {
+      spec.resize(colon);
+      mode = Mode::kAbort;
+    }
+    if (!spec.empty()) arm(spec, mode);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+void arm(const std::string& name, Mode mode) {
+  const std::lock_guard<std::mutex> lock(mu());
+  auto& map = armed_map();
+  const auto [it, inserted] = map.insert_or_assign(name, mode);
+  (void)it;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm_all() noexcept {
+  const std::lock_guard<std::mutex> lock(mu());
+  armed_map().clear();
+  g_armed_count.store(0, std::memory_order_relaxed);
+}
+
+bool armed(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu());
+  return armed_map().count(name) != 0;
+}
+
+void hit(const char* name) {
+  arm_from_env_once();
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return;
+  Mode mode;
+  {
+    const std::lock_guard<std::mutex> lock(mu());
+    auto& map = armed_map();
+    const auto it = map.find(name);
+    if (it == map.end()) return;
+    mode = it->second;
+    // One-shot: the simulated crash happens once; the recovery that
+    // follows (same process in tests) runs with the failpoint gone.
+    map.erase(it);
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  g_hits_total.fetch_add(1, std::memory_order_relaxed);
+  if (mode == Mode::kAbort) std::abort();
+  throw Failure(name);
+}
+
+std::uint64_t hits_total() noexcept {
+  return g_hits_total.load(std::memory_order_relaxed);
+}
+
+}  // namespace distapx::failpoint

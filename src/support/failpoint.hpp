@@ -1,0 +1,61 @@
+// Injectable failure points for crash testing.
+//
+// Durability code is only as good as its crash coverage, and the crashes
+// that matter land *between* two filesystem operations — after a result is
+// published but before the job file moves, after a changelog append but
+// before the snapshot rename. A failpoint names such an instant:
+// production code calls `failpoint::hit("daemon_publish_move")` at the
+// vulnerable point, and a test (or CI, via the DISTAPX_FAILPOINT
+// environment variable) arms that name to either throw or abort() there,
+// simulating a kill -9 at exactly the worst moment.
+//
+// Cost model: hit() is one relaxed atomic load when nothing is armed, so
+// failpoints are compiled into release builds and the tested binary is
+// the shipped binary. Arming is one-shot — a triggered failpoint disarms
+// itself, so the restarted-recovery path in the same process (or the same
+// test) runs clean.
+//
+// Environment arming (for e2e crash tests that cannot reach the C++ API):
+//   DISTAPX_FAILPOINT=daemon_publish_move         -> throw Failure
+//   DISTAPX_FAILPOINT=daemon_publish_move:abort   -> abort() (SIGABRT,
+//                                                    like a kill -9)
+// The variable is read once, at the first hit() in the process.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace distapx::failpoint {
+
+/// Thrown by an armed failpoint in kThrow mode. Deliberately NOT derived
+/// from the service layer's JobError: recovery code catches and rethrows
+/// it so a simulated crash is never mistaken for a quarantinable job
+/// failure.
+struct Failure : std::runtime_error {
+  explicit Failure(const std::string& name)
+      : std::runtime_error("failpoint hit: " + name) {}
+};
+
+enum class Mode {
+  kThrow,  ///< hit() throws Failure (unit tests: "crash" = unwound stack)
+  kAbort,  ///< hit() calls abort()  (e2e tests: a real dead process)
+};
+
+/// Arms `name`: the next hit(name) triggers once, then disarms itself.
+void arm(const std::string& name, Mode mode = Mode::kThrow);
+
+/// Disarms everything (test teardown).
+void disarm_all() noexcept;
+
+/// True if `name` is currently armed (test introspection).
+[[nodiscard]] bool armed(const std::string& name);
+
+/// Triggers if `name` is armed (throw or abort per its mode), else
+/// returns immediately. One relaxed atomic load when nothing is armed.
+void hit(const char* name);
+
+/// Lifetime count of triggered failpoints (test assertion helper).
+[[nodiscard]] std::uint64_t hits_total() noexcept;
+
+}  // namespace distapx::failpoint

@@ -1,10 +1,15 @@
 #include "support/fsutil.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <string>
 #include <system_error>
+
+#include "support/metrics.hpp"
 
 namespace distapx::fsutil {
 
@@ -13,16 +18,134 @@ namespace fs = std::filesystem;
 namespace {
 
 std::atomic<bool> g_force_copy{false};
+std::atomic<Durability> g_durability{Durability::kFull};
+std::atomic<std::uint64_t> g_fsync_total{0};
+std::atomic<metrics::Counter*> g_fsync_counter{nullptr};
 
 [[noreturn]] void throw_move_error(const fs::path& from, const fs::path& to,
                                    const std::error_code& ec) {
   throw fs::filesystem_error("cannot move file", from, to, ec);
 }
 
+void count_fsync() noexcept {
+  g_fsync_total.fetch_add(1, std::memory_order_relaxed);
+  if (metrics::Counter* c = g_fsync_counter.load(std::memory_order_relaxed)) {
+    c->inc();
+  }
+}
+
 }  // namespace
 
 void set_force_copy_move_for_testing(bool force) noexcept {
   g_force_copy.store(force, std::memory_order_relaxed);
+}
+
+void set_durability(Durability level) noexcept {
+  g_durability.store(level, std::memory_order_relaxed);
+}
+
+Durability durability() noexcept {
+  return g_durability.load(std::memory_order_relaxed);
+}
+
+std::optional<Durability> parse_durability(std::string_view text) noexcept {
+  if (text == "none") return Durability::kNone;
+  if (text == "full") return Durability::kFull;
+  return std::nullopt;
+}
+
+std::uint64_t fsync_total() noexcept {
+  return g_fsync_total.load(std::memory_order_relaxed);
+}
+
+void set_fsync_counter(metrics::Counter* counter) noexcept {
+  g_fsync_counter.store(counter, std::memory_order_relaxed);
+}
+
+bool sync_fd(int fd) noexcept {
+  if (durability() == Durability::kNone) return true;
+  int rc;
+  do {
+    rc = ::fdatasync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc == 0) count_fsync();
+  return rc == 0;
+}
+
+bool sync_file(const fs::path& path) noexcept {
+  if (durability() == Durability::kNone) return true;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = sync_fd(fd);
+  ::close(fd);
+  return ok;
+}
+
+bool sync_dir(const fs::path& dir) noexcept {
+  if (durability() == Durability::kNone) return true;
+  // O_DIRECTORY so a plain file at `dir` is an error, not a silent sync of
+  // the wrong object. fsync (not fdatasync): directory metadata IS the
+  // data being made durable here.
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  ::close(fd);
+  if (rc == 0) count_fsync();
+  return rc == 0;
+}
+
+bool write_file_durable(const fs::path& path, std::string_view content,
+                        std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = what + " " + path.string() + ": " + std::strerror(errno);
+    }
+    return false;
+  };
+  fs::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  const fs::path tmp =
+      dir / (".pub-tmp." + std::to_string(::getpid()) + "." +
+             path.filename().string());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return fail("cannot create temp for");
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::error_code ignore;
+      fs::remove(tmp, ignore);
+      return fail("cannot write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Data blocks first, then the rename, then the directory entry: after
+  // the final sync the new name durably refers to complete content.
+  if (!sync_fd(fd)) {
+    ::close(fd);
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    return fail("cannot sync");
+  }
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    if (error != nullptr) {
+      *error = "cannot publish " + path.string() + ": " + ec.message();
+    }
+    return false;
+  }
+  if (!sync_dir(dir)) return fail("cannot sync directory of");
+  return true;
 }
 
 void move_file(const fs::path& from, const fs::path& to) {

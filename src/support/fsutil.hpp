@@ -10,9 +10,30 @@
 // lands in a hidden temp name next to the destination and is renamed into
 // place (same directory, so that rename cannot itself hit EXDEV); only
 // then is the source removed.
+//
+// Durability: rename makes publication *atomic* but not *durable* — after
+// a power loss, a renamed file can surface empty or truncated because the
+// data blocks were never flushed, and the rename itself can be undone
+// because the directory entry was never flushed. The sync_* helpers below
+// close both holes: fdatasync the file before renaming it into place,
+// fsync the parent directory after. They honor a process-wide Durability
+// knob (the CLI's --durability flag): at kNone every sync is a no-op
+// (benchmarks, throwaway caches), at kFull (the default) each helper
+// issues the real syscall and bumps a process-wide fsync counter, which
+// is mirrored into a metrics Counter ("fsync_total") when a serving
+// process registers one — so benches and /metrics can show what
+// durability costs.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace distapx::metrics {
+class Counter;
+}
 
 namespace distapx::fsutil {
 
@@ -28,5 +49,56 @@ void move_file(const std::filesystem::path& from,
 /// always exercises the cross-filesystem copy fallback — a single-mount
 /// test box cannot produce a real EXDEV. Not for production use.
 void set_force_copy_move_for_testing(bool force) noexcept;
+
+// ---- durability knob ------------------------------------------------------
+
+enum class Durability {
+  kNone,  ///< never fsync: fast, crash leaves torn/empty published files
+  kFull,  ///< fdatasync data before rename, fsync directories after
+};
+
+/// Process-wide durability level; kFull until set otherwise. The sync_*
+/// helpers below consult it, so flipping the knob changes every
+/// publication path at once (the CLI's --durability flag).
+void set_durability(Durability level) noexcept;
+[[nodiscard]] Durability durability() noexcept;
+
+/// "none"/"full" -> the level; nullopt for anything else (CLI parsing).
+std::optional<Durability> parse_durability(std::string_view text) noexcept;
+
+/// Lifetime count of fsync/fdatasync syscalls this process issued through
+/// the helpers below (kNone no-ops are not counted). Benches read this to
+/// price durability.
+[[nodiscard]] std::uint64_t fsync_total() noexcept;
+
+/// Mirrors every future fsync into `counter` (a registry's "fsync_total")
+/// so /metrics and `cache stats` see the same number the process-wide
+/// count does. Null detaches. The counter must outlive its registration;
+/// serving CLIs pass the process registry, which lives to exit.
+void set_fsync_counter(metrics::Counter* counter) noexcept;
+
+/// fdatasync(fd) when durability is kFull; no-op (returns true) at kNone.
+/// Returns false only on a real fdatasync failure.
+bool sync_fd(int fd) noexcept;
+
+/// Opens `path` read-only and sync_fd's it (for files written through
+/// buffered streams that are already closed). False if the open or sync
+/// fails; no-op true at kNone.
+bool sync_file(const std::filesystem::path& path) noexcept;
+
+/// fsyncs the *directory* `dir`, making renames/creates inside it
+/// durable. No-op true at kNone; false on open/fsync failure.
+bool sync_dir(const std::filesystem::path& dir) noexcept;
+
+/// Durable publication: writes `content` to a hidden temp name in the
+/// destination directory, syncs it, renames into place, and syncs the
+/// parent directory — a crash at any instant leaves either the complete
+/// previous state or the complete new file, and once this returns true
+/// the file survives power loss (at kFull). Returns false with the
+/// reason in `*error` (when non-null) on any failure; the destination is
+/// never left partial and temp droppings are removed.
+bool write_file_durable(const std::filesystem::path& path,
+                        std::string_view content,
+                        std::string* error = nullptr);
 
 }  // namespace distapx::fsutil

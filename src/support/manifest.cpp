@@ -6,13 +6,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/log.hpp"
+
 namespace distapx {
 
 namespace fs = std::filesystem;
 
-namespace {
-
-std::string format_line(const ManifestRecord& record) {
+std::string format_manifest_line(const ManifestRecord& record) {
   std::string line = record.tag;
   for (const std::string& f : record.fields) {
     line += ' ';
@@ -22,7 +22,14 @@ std::string format_line(const ManifestRecord& record) {
   return line;
 }
 
-}  // namespace
+std::optional<ManifestRecord> parse_manifest_line(std::string_view line) {
+  std::istringstream tokens{std::string(line)};
+  ManifestRecord record;
+  if (!(tokens >> record.tag)) return std::nullopt;  // blank or torn line
+  std::string field;
+  while (tokens >> field) record.fields.push_back(std::move(field));
+  return record;
+}
 
 std::vector<ManifestRecord> read_manifest(const std::string& path) {
   std::vector<ManifestRecord> records;
@@ -30,12 +37,9 @@ std::vector<ManifestRecord> read_manifest(const std::string& path) {
   if (!is) return records;
   std::string line;
   while (std::getline(is, line)) {
-    std::istringstream tokens(line);
-    ManifestRecord record;
-    if (!(tokens >> record.tag)) continue;  // blank or torn line: skip
-    std::string field;
-    while (tokens >> field) record.fields.push_back(std::move(field));
-    records.push_back(std::move(record));
+    if (auto record = parse_manifest_line(line)) {
+      records.push_back(std::move(*record));
+    }
   }
   return records;
 }
@@ -43,15 +47,25 @@ std::vector<ManifestRecord> read_manifest(const std::string& path) {
 bool append_manifest(const std::string& path,
                      const std::vector<ManifestRecord>& records) {
   std::ofstream os(path, std::ios::app);
-  if (!os) return false;
-  // One buffered write per call keeps whole lines contiguous; O_APPEND
-  // (ios::app) makes each underlying write land at the live end of file
-  // even with concurrent appenders.
-  std::string buf;
-  for (const ManifestRecord& r : records) buf += format_line(r);
-  os << buf;
-  os.flush();
-  return static_cast<bool>(os);
+  bool ok = static_cast<bool>(os);
+  if (ok) {
+    // One buffered write per call keeps whole lines contiguous; O_APPEND
+    // (ios::app) makes each underlying write land at the live end of file
+    // even with concurrent appenders.
+    std::string buf;
+    for (const ManifestRecord& r : records) buf += format_manifest_line(r);
+    os << buf;
+    os.flush();
+    ok = static_cast<bool>(os);
+  }
+  if (!ok) {
+    // Advisory data, but a journal that stops persisting is a disk-full /
+    // permissions fault the operator must hear about. logx rate-limits
+    // per event name, so a hot loop cannot flood the log.
+    logx::warn("manifest_append_failed",
+               {{"path", path}, {"records", records.size()}});
+  }
+  return ok;
 }
 
 bool compact_manifest(const std::string& path,
@@ -60,7 +74,7 @@ bool compact_manifest(const std::string& path,
   {
     std::ofstream os(tmp, std::ios::trunc);
     if (!os) return false;
-    for (const ManifestRecord& r : records) os << format_line(r);
+    for (const ManifestRecord& r : records) os << format_manifest_line(r);
     os.flush();
     if (!os) {
       std::error_code ec;

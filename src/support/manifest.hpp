@@ -18,7 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace distapx {
@@ -30,14 +32,29 @@ struct ManifestRecord {
   std::vector<std::string> fields;
 };
 
+/// The record as one line, trailing newline included ("F ab12... 97\n").
+/// The cache manager also uses this as the payload syntax for its
+/// changelog records (support/changelog.hpp), so a manifest line means
+/// the same thing whether it lives in a text journal or a framed one.
+std::string format_manifest_line(const ManifestRecord& record);
+
+/// Inverse of format_manifest_line for one line (no trailing newline
+/// required): nullopt for a blank/torn line.
+std::optional<ManifestRecord> parse_manifest_line(std::string_view line);
+
 /// Replays every well-formed line of `path` in file order. A missing file
 /// is an empty manifest; malformed lines (empty, torn) are skipped.
 std::vector<ManifestRecord> read_manifest(const std::string& path);
 
 /// Appends records to `path`, one line each, in O_APPEND mode (each call
 /// reopens the stream, so concurrent appenders from other processes land
-/// at the current end of file). Returns false if the write failed —
-/// manifest appends are advisory, so callers typically shrug.
+/// at the current end of file). Returns false if the write failed, after
+/// emitting a rate-limited warn — manifest data is advisory (loss
+/// degrades LRU precision, never correctness), but a persistently
+/// unwritable journal is an operational fault the log must surface, not
+/// the silent shrug it used to be. Callers that own a metrics registry
+/// should additionally count the failure (the cache manager bumps
+/// manifest_append_failures_total).
 bool append_manifest(const std::string& path,
                      const std::vector<ManifestRecord>& records);
 

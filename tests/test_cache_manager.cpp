@@ -23,6 +23,7 @@
 #include "service/cache_manager.hpp"
 #include "service/job_spec.hpp"
 #include "service/result_cache.hpp"
+#include "support/changelog.hpp"
 #include "support/fingerprint.hpp"
 #include "support/manifest.hpp"
 #include "test_helpers.hpp"
@@ -455,6 +456,135 @@ TEST(CacheManager, ClearRemovesEntriesManifestAndQuarantine) {
   EXPECT_EQ(s.quarantined, 0u);
   // The directory itself survives (it may be a mount point).
   EXPECT_TRUE(fs::is_directory(dir.path));
+}
+
+// ---- changelog-backed manifest: open path, migration, failure counters -----
+
+TEST(CacheManager, CheckpointedDirectoryOpensByReplayNotScan) {
+  const ScopedTempDir dir("distapx-mgr-replay-open");
+  {
+    service::ResultCache cache(dir.str(), 100 * kEntry);
+    fill_entries(cache, 12);
+  }  // manager destruction flushes the buffered journal tail
+
+  service::CacheManager manager(dir.str());
+  EXPECT_EQ(manager.registry().counter("cache_open_replays_total").value(),
+            1u);
+  EXPECT_EQ(manager.registry().counter("cache_open_scans_total").value(), 0u);
+  EXPECT_EQ(manager.live_entries(), 12u);
+  EXPECT_EQ(manager.live_bytes(), 12 * kEntry);
+
+  // checkpoint() compacts: all state in the snapshot, empty tail, and the
+  // next open replays exactly that.
+  manager.checkpoint();
+  ASSERT_NE(manager.journal(), nullptr);
+  EXPECT_EQ(manager.journal()->snapshot_records(), 12u);
+  EXPECT_EQ(manager.journal()->tail_records(), 0u);
+
+  service::CacheManager again(dir.str());
+  EXPECT_EQ(again.registry().counter("cache_open_replays_total").value(), 1u);
+  EXPECT_EQ(again.live_entries(), 12u);
+}
+
+TEST(CacheManager, FreshDirectoryScansOnceThenNextOpenReplays) {
+  // Populated by an unbudgeted writer (no manager, no journal): the first
+  // open pays the one-time directory scan and leaves a snapshot behind;
+  // every later open replays.
+  const ScopedTempDir dir("distapx-mgr-scan-once");
+  service::ResultCache cache(dir.str());
+  fill_entries(cache, 5);
+  {
+    service::CacheManager first(dir.str());
+    EXPECT_EQ(first.registry().counter("cache_open_scans_total").value(), 1u);
+    EXPECT_EQ(first.registry().counter("cache_open_replays_total").value(),
+              0u);
+    EXPECT_EQ(first.live_entries(), 5u);
+  }
+  service::CacheManager second(dir.str());
+  EXPECT_EQ(second.registry().counter("cache_open_scans_total").value(), 0u);
+  EXPECT_EQ(second.registry().counter("cache_open_replays_total").value(), 1u);
+  EXPECT_EQ(second.live_entries(), 5u);
+  EXPECT_EQ(second.live_bytes(), 5 * kEntry);
+}
+
+TEST(CacheManager, LegacyTextManifestIsMigratedPreservingRecency) {
+  const ScopedTempDir dir("distapx-mgr-legacy");
+  std::vector<Fingerprint> keys;
+  {
+    service::ResultCache cache(dir.str());  // unbudgeted: writes no journal
+    keys = fill_entries(cache, 3);
+  }
+  // A pre-changelog text manifest: fills in key order, then a touch that
+  // made key 0 the most recent.
+  std::vector<ManifestRecord> legacy;
+  for (const auto& key : keys) {
+    legacy.push_back({"F", {key.hex(), std::to_string(kEntry)}});
+  }
+  legacy.push_back({"T", {keys[0].hex()}});
+  ASSERT_TRUE(append_manifest((dir.path / "manifest.log").string(), legacy));
+
+  // Migration is a scan-open (a text file cannot be replayed), but the
+  // legacy lines seed the recency order.
+  service::CacheManager manager(dir.str());
+  EXPECT_EQ(manager.registry().counter("cache_open_scans_total").value(), 1u);
+  const auto lru = manager.entries_lru();
+  ASSERT_EQ(lru.size(), 3u);
+  EXPECT_EQ(lru.front().key, keys[1]);  // oldest untouched fill
+  EXPECT_EQ(lru.back().key, keys[0]);   // touched last in the legacy log
+
+  // The manifest is a changelog now: the next open replays, same order.
+  service::CacheManager again(dir.str());
+  EXPECT_EQ(again.registry().counter("cache_open_replays_total").value(), 1u);
+  const auto lru2 = again.entries_lru();
+  ASSERT_EQ(lru2.size(), 3u);
+  EXPECT_EQ(lru2.front().key, keys[1]);
+  EXPECT_EQ(lru2.back().key, keys[0]);
+}
+
+TEST(CacheManager, JournalAppendFailuresAreCountedNotThrown) {
+  const ScopedTempDir dir("distapx-mgr-append-fail");
+  service::ResultCache cache(dir.str(), 100 * kEntry);
+  const auto keys = fill_entries(cache, 2);
+  service::CacheManager& manager = *cache.manager();
+
+  Changelog::set_write_failure_for_testing(true);
+  manager.record_get(keys[0]);
+  manager.checkpoint();  // flush + snapshot both fail; neither may throw
+  Changelog::set_write_failure_for_testing(false);
+  EXPECT_GE(
+      manager.registry().counter("manifest_append_failures_total").value(),
+      1u);
+
+  // The in-memory accounting is unharmed and later writes recover fully.
+  EXPECT_EQ(manager.live_entries(), 2u);
+  manager.checkpoint();
+  ASSERT_NE(manager.journal(), nullptr);
+  EXPECT_EQ(manager.journal()->snapshot_records(), 2u);
+}
+
+TEST(CacheManager, PrewarmValidatesJournalKnownEntriesWithoutRepairing) {
+  const ScopedTempDir dir("distapx-mgr-prewarm");
+  service::ResultCache cache(dir.str(), 100 * kEntry);
+  const auto keys = fill_entries(cache, 6);
+  service::CacheManager& manager = *cache.manager();
+
+  auto report = manager.prewarm();
+  EXPECT_EQ(report.checked, 6u);
+  EXPECT_EQ(report.ok, 6u);
+  EXPECT_EQ(report.invalid, 0u);
+  EXPECT_EQ(report.bytes, 6 * kEntry);
+
+  // A damaged entry is reported, never modified (repair is verify's job).
+  {
+    std::ofstream os(cache.entry_path(keys[0]),
+                     std::ios::binary | std::ios::trunc);
+    os << "garbage";
+  }
+  report = manager.prewarm();
+  EXPECT_EQ(report.checked, 6u);
+  EXPECT_EQ(report.ok, 5u);
+  EXPECT_EQ(report.invalid, 1u);
+  EXPECT_TRUE(fs::exists(cache.entry_path(keys[0])));
 }
 
 // ---- concurrent eviction (the satellite contract) --------------------------

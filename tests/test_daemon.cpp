@@ -18,6 +18,8 @@
 #include "service/daemon.hpp"
 #include "service/job_spec.hpp"
 #include "service/report_sink.hpp"
+#include "support/changelog.hpp"
+#include "support/failpoint.hpp"
 #include "support/fsutil.hpp"
 #include "test_helpers.hpp"
 
@@ -387,6 +389,85 @@ TEST(Daemon, RunServesABurstThenIdlesWithoutSpinning) {
   const auto reports = daemon.run();
   ASSERT_EQ(reports.size(), 1u);
   EXPECT_TRUE(reports[0].ok);
+}
+
+// ---- crash recovery ---------------------------------------------------------
+
+TEST(Daemon, CrashBetweenPublishAndMoveIsResumedExactlyOnce) {
+  const ScopedTempDir spool("distapx-spool-crash");
+  {
+    service::Daemon daemon(opts_for(spool));
+    spool_file(spool.path, "sweep", kGoodJobs);
+    // Kill the daemon in the publish->move window, after `P sweep` was
+    // journaled. A failpoint Failure unwinds like a real crash — it must
+    // not be swallowed into quarantine.
+    failpoint::arm("daemon_publish_move");
+    EXPECT_THROW(daemon.drain_once(), failpoint::Failure);
+  }
+  const fs::path done = spool.path / "done";
+  ASSERT_TRUE(fs::exists(spool.path / "sweep.job"));  // move never happened
+  ASSERT_TRUE(fs::exists(done / "sweep.runs.csv"));   // publication did
+  const std::string runs = slurp(done / "sweep.runs.csv");
+  const std::string summary = slurp(done / "sweep.summary.csv");
+  const std::string report_txt = slurp(done / "sweep.report.txt");
+
+  // The restarted daemon resumes: finishes the move, recomputes nothing,
+  // rewrites nothing — every published byte is exactly the original.
+  service::Daemon daemon(opts_for(spool));
+  const auto reports = daemon.drain_once();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok);
+  EXPECT_TRUE(reports[0].resumed);
+  EXPECT_EQ(reports[0].runs, 0u);
+  EXPECT_EQ(reports[0].computed, 0u);
+  EXPECT_EQ(daemon.registry().counter("spool_resumed_total").value(), 1u);
+  EXPECT_EQ(slurp(done / "sweep.runs.csv"), runs);
+  EXPECT_EQ(slurp(done / "sweep.summary.csv"), summary);
+  EXPECT_EQ(slurp(done / "sweep.report.txt"), report_txt);
+  EXPECT_TRUE(fs::exists(done / "sweep.job"));
+  EXPECT_FALSE(fs::exists(spool.path / "sweep.job"));
+  // Settled for good: nothing left to claim, nothing to resume twice.
+  EXPECT_TRUE(daemon.drain_once().empty());
+}
+
+TEST(Daemon, ClaimWhoseJobAlreadyLeftTheSpoolIsSettledAtStartup) {
+  // Crash *after* the move but before the `D` record: the work is fully
+  // done; the restarted daemon settles the dangling claim instead of
+  // carrying it forever.
+  const ScopedTempDir spool("distapx-spool-settle");
+  fs::create_directories(spool.path);
+  {
+    Changelog journal((spool.path / "journal").string());
+    ASSERT_TRUE(journal.append("P ghost"));
+  }
+  service::Daemon daemon(opts_for(spool));
+  EXPECT_EQ(daemon.journal().snapshot_records(), 0u);
+  EXPECT_EQ(daemon.journal().tail_records(), 0u);
+  EXPECT_TRUE(daemon.drain_once().empty());
+  EXPECT_EQ(daemon.registry().counter("spool_resumed_total").value(), 0u);
+}
+
+TEST(Daemon, IncompletePublicationIsRecomputedNotResumed) {
+  const ScopedTempDir spool("distapx-spool-partial");
+  {
+    service::Daemon daemon(opts_for(spool));
+    spool_file(spool.path, "sweep", kGoodJobs);
+    failpoint::arm("daemon_publish_move");
+    EXPECT_THROW(daemon.drain_once(), failpoint::Failure);
+  }
+  // One published artifact is gone (damaged disk, manual cleanup): the
+  // resume precondition fails and the job is served from scratch.
+  fs::remove(spool.path / "done" / "sweep.runs.csv");
+
+  service::Daemon daemon(opts_for(spool));
+  const auto reports = daemon.drain_once();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok);
+  EXPECT_FALSE(reports[0].resumed);
+  EXPECT_EQ(reports[0].runs, 10u);  // recomputed
+  EXPECT_TRUE(fs::exists(spool.path / "done" / "sweep.runs.csv"));
+  EXPECT_FALSE(fs::exists(spool.path / "sweep.job"));
+  EXPECT_EQ(daemon.registry().counter("spool_resumed_total").value(), 0u);
 }
 
 TEST(Daemon, EmptyJobFileIsQuarantinedNotLooped) {

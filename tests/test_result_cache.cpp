@@ -21,6 +21,7 @@
 #include "service/job_spec.hpp"
 #include "service/result_cache.hpp"
 #include "support/fingerprint.hpp"
+#include "support/fsutil.hpp"
 #include "test_helpers.hpp"
 
 namespace distapx {
@@ -229,6 +230,37 @@ TEST(ResultCache, StoreFailureDegradesToUncachedServing) {
   EXPECT_EQ(warm.jobs[0].rows, uncached.jobs[0].rows);
   EXPECT_EQ(warm.cache_hits, 1u);
   EXPECT_EQ(warm.computed, 1u);
+}
+
+// ---- publication durability -------------------------------------------------
+
+TEST(ResultCache, StoreFsyncsPerTheDurabilityKnob) {
+  const ScopedTempDir dir("distapx-cache-fsync");
+  service::ResultCache cache(dir.str());
+  const fsutil::Durability saved = fsutil::durability();
+
+  fsutil::set_durability(fsutil::Durability::kFull);
+  const std::uint64_t before_full = fsutil::fsync_total();
+  service::RunRow row;
+  row.seed = 1;
+  row.completed = true;
+  cache.store(service::run_fingerprint(luby_spec(), 1), row);
+  // Data blocks before the rename, the directory entry after it: at least
+  // two syncs per publication.
+  EXPECT_GE(fsutil::fsync_total(), before_full + 2);
+
+  fsutil::set_durability(fsutil::Durability::kNone);
+  const std::uint64_t before_none = fsutil::fsync_total();
+  cache.store(service::run_fingerprint(luby_spec(), 2), row);
+  EXPECT_EQ(fsutil::fsync_total(), before_none);
+  fsutil::set_durability(saved);
+
+  // The knob trades crash-durability for speed; it never changes bytes.
+  EXPECT_TRUE(
+      cache.lookup(service::run_fingerprint(luby_spec(), 1)).has_value());
+  EXPECT_TRUE(
+      cache.lookup(service::run_fingerprint(luby_spec(), 2)).has_value());
+  EXPECT_EQ(cache.stats().rejected, 0u);
 }
 
 // ---- corruption / truncation / version skew --------------------------------

@@ -35,6 +35,7 @@
 #include "service/job_spec.hpp"
 #include "service/report_sink.hpp"
 #include "service/socket_server.hpp"
+#include "support/changelog.hpp"
 #include "support/fdio.hpp"
 #include "test_helpers.hpp"
 
@@ -703,6 +704,102 @@ TEST(SocketServer, StaleSocketPathIsReclaimedALiveOneIsNot) {
     std::ofstream squatter(path);
   }
   EXPECT_THROW(service::SocketServer{opts}, net::NetError);
+}
+
+// ---- crash recovery via the submit journal ----------------------------------
+
+TEST(SocketServer, JournaledSubmitWithoutCompletionIsRecoveredIntoTheCache) {
+  const ScopedTempDir dir("distapx-socket-recover");
+  std::filesystem::create_directories(dir.path / "cache");
+  const std::string journal = (dir.path / "journal").string();
+  // A predecessor accepted submit #1 (the S record landed durably before
+  // any lane touched it) and crashed before the R record.
+  {
+    Changelog j(journal);
+    ASSERT_TRUE(j.append("S 1 " + std::string(kJobs)));
+  }
+
+  ServerFixture fixture([&](service::SocketServerOptions& o) {
+    o.cache_dir = (dir.path / "cache").string();
+    o.journal_path = journal;
+  });
+  // Recovery ran in the constructor, before the listener opened, and the
+  // consumed claim was compacted away — history must not replay twice.
+  EXPECT_EQ(
+      fixture.server().registry().counter("socket_recovered_jobs_total")
+          .value(),
+      1u);
+  ASSERT_NE(fixture.server().journal(), nullptr);
+  EXPECT_EQ(fixture.server().journal()->snapshot_records(), 0u);
+
+  // The client's retry lands entirely on the prewarmed cache — identical
+  // bytes, zero recomputation.
+  const net::ResultPayload reference = direct_reference(kJobs);
+  net::Client client = net::Client::connect(fixture.endpoint());
+  const net::SubmitOutcome outcome = client.submit(kJobs);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.runs_csv, reference.runs_csv);
+  EXPECT_EQ(outcome.result.summary_csv, reference.summary_csv);
+
+  const auto stats = fixture.finish();
+  EXPECT_EQ(stats.computed, 7u);    // the recovery pass, nothing else
+  EXPECT_EQ(stats.cache_hits, 7u);  // the retry, entirely warm
+}
+
+TEST(SocketServer, CompletedSubmitsAreNeverReExecutedOnRestart) {
+  const ScopedTempDir dir("distapx-socket-norerun");
+  std::filesystem::create_directories(dir.path / "cache");
+  const std::string journal = (dir.path / "journal").string();
+  {
+    ServerFixture fixture([&](service::SocketServerOptions& o) {
+      o.cache_dir = (dir.path / "cache").string();
+      o.journal_path = journal;
+    });
+    net::Client client = net::Client::connect(fixture.endpoint());
+    ASSERT_TRUE(client.submit(kJobs).ok);
+    fixture.finish();
+  }
+  // Every accepted S has its R: a restart over the same journal finds no
+  // pending claims and recovers nothing.
+  ServerFixture restarted([&](service::SocketServerOptions& o) {
+    o.cache_dir = (dir.path / "cache").string();
+    o.journal_path = journal;
+  });
+  EXPECT_EQ(
+      restarted.server().registry().counter("socket_recovered_jobs_total")
+          .value(),
+      0u);
+  // And the cache the first server filled still serves the same bytes.
+  net::Client client = net::Client::connect(restarted.endpoint());
+  const net::SubmitOutcome outcome = client.submit(kJobs);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.result.runs_csv, direct_reference(kJobs).runs_csv);
+  const auto stats = restarted.finish();
+  EXPECT_EQ(stats.cache_hits, 7u);
+  EXPECT_EQ(stats.computed, 0u);
+}
+
+TEST(SocketServer, RecoveryWithoutACacheDropsTheClaimsCleanly) {
+  const ScopedTempDir dir("distapx-socket-nocache");
+  std::filesystem::create_directories(dir.path);
+  const std::string journal = (dir.path / "journal").string();
+  {
+    Changelog j(journal);
+    ASSERT_TRUE(j.append("S 1 " + std::string(kJobs)));
+    ASSERT_TRUE(j.append("S 2 not a job file at all"));
+  }
+  // No cache: there is nowhere useful to put recovered results, so the
+  // claims are dropped (clients retry) and the server starts normally.
+  ServerFixture fixture([&](service::SocketServerOptions& o) {
+    o.journal_path = journal;
+  });
+  EXPECT_EQ(
+      fixture.server().registry().counter("socket_recovered_jobs_total")
+          .value(),
+      0u);
+  EXPECT_EQ(fixture.server().journal()->snapshot_records(), 0u);
+  net::Client client = net::Client::connect(fixture.endpoint());
+  EXPECT_TRUE(client.submit(kJobs).ok);
 }
 
 }  // namespace

@@ -5,16 +5,17 @@
 // Usage:
 //   distapx_cli <algorithm> [options]
 //   distapx_cli batch <jobfile> [--threads N] [--cache DIR]
-//                     [--cache-budget SIZE] [--csv F] [--json F] [--runs F]
-//                     [--quiet]
+//                     [--cache-budget SIZE] [--durability none|full]
+//                     [--csv F] [--json F] [--runs F] [--quiet]
 //   distapx_cli serve <spool-dir> [--cache-dir DIR] [--cache-budget SIZE]
 //                     [--threads N] [--poll-ms M] [--max-files K] [--once]
-//                     [--admin ADDR] [--log-level LEVEL]
-//   distapx_cli serve --listen <path|host:port> [--cache-dir DIR]
-//                     [--cache-budget SIZE] [--threads N] [--lanes N]
-//                     [--max-requests K] [--idle-timeout-ms M]
-//                     [--no-remote-shutdown] [--admin ADDR]
+//                     [--durability none|full] [--admin ADDR]
 //                     [--log-level LEVEL]
+//   distapx_cli serve --listen <path|host:port> [--cache-dir DIR]
+//                     [--cache-budget SIZE] [--journal PATH] [--threads N]
+//                     [--lanes N] [--max-requests K] [--idle-timeout-ms M]
+//                     [--no-remote-shutdown] [--durability none|full]
+//                     [--admin ADDR] [--log-level LEVEL]
 //   distapx_cli submit <path|host:port> <jobfile> [--summary F] [--runs F]
 //                     [--report F] [--connect-timeout-ms M] [--quiet]
 //   distapx_cli submit <path|host:port> {--ping | --stats | --shutdown}
@@ -22,7 +23,7 @@
 //                     [--repeat R] [--pipeline P] [--connect-timeout-ms M]
 //                     [--quiet]
 //   distapx_cli cache <dir> {stats | ls | verify [--quarantine|--delete] |
-//                     gc --budget SIZE | clear}
+//                     gc --budget SIZE | clear | prewarm | checkpoint}
 //
 // Algorithms:
 //   luby           Luby's MIS
@@ -81,6 +82,7 @@
 #include "service/result_cache.hpp"
 #include "service/socket_server.hpp"
 #include "support/assert.hpp"
+#include "support/fsutil.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/parse.hpp"
@@ -250,6 +252,30 @@ std::vector<std::string> arg_rest(int argc, char** argv, int first) {
   return rest;
 }
 
+/// --durability for the writing subcommands; empty = keep the default
+/// (full). "none" turns every fsync in the publication paths into a
+/// no-op — benchmarks and throwaway runs only.
+void apply_durability(const std::string& spec) {
+  if (spec.empty()) return;
+  const auto level = fsutil::parse_durability(spec);
+  if (!level) {
+    usage_error("--durability " + spec + " is not one of none|full");
+  }
+  fsutil::set_durability(*level);
+}
+
+/// Mirrors the process-wide fsync count into `registry`'s fsync_total
+/// counter for this scope (serving loops, cache commands), detaching
+/// before the registry dies.
+struct FsyncCounterScope {
+  explicit FsyncCounterScope(metrics::Registry& registry) {
+    fsutil::set_fsync_counter(&registry.counter("fsync_total"));
+  }
+  ~FsyncCounterScope() { fsutil::set_fsync_counter(nullptr); }
+  FsyncCounterScope(const FsyncCounterScope&) = delete;
+  FsyncCounterScope& operator=(const FsyncCounterScope&) = delete;
+};
+
 /// --log-level for the serving subcommands; empty = keep the default.
 void apply_log_level(const std::string& spec) {
   if (spec.empty()) return;
@@ -323,18 +349,20 @@ int run_batch(int argc, char** argv) {
   }
   const std::string job_file = argv[2];
   service::BatchOptions batch_opts;
-  std::string csv_file, json_file, runs_file, cache_dir;
+  std::string csv_file, json_file, runs_file, cache_dir, durability;
   std::uint64_t cache_budget = 0;
   bool quiet = false;
   FlagSet flags("batch", "batch <jobfile>");
   flags.uint("--threads", "N", &batch_opts.threads, 1u << 16)
       .str("--cache", "DIR", &cache_dir)
       .size("--cache-budget", "SIZE", &cache_budget)
+      .str("--durability", "LEVEL", &durability)
       .str("--csv", "F", &csv_file)
       .str("--json", "F", &json_file)
       .str("--runs", "F", &runs_file)
       .toggle("--quiet", &quiet);
   flags.parse(arg_rest(argc, argv, 3));
+  apply_durability(durability);
 
   if (cache_budget != 0 && cache_dir.empty()) {
     usage_error("--cache-budget needs --cache DIR");
@@ -409,7 +437,7 @@ int run_serve(int argc, char** argv) {
   }
   service::DaemonOptions opts;
   opts.spool_dir = argv[2];
-  std::string admin_addr, log_level;
+  std::string admin_addr, log_level, durability;
   bool once = false;
   FlagSet flags("serve", "serve <spool-dir>");
   flags.str("--cache-dir", "DIR", &opts.cache_dir)
@@ -418,14 +446,17 @@ int run_serve(int argc, char** argv) {
       .uint("--poll-ms", "M", &opts.poll_ms, 1u << 24)
       .uint("--max-files", "K", &opts.max_files)
       .toggle("--once", &once)
+      .str("--durability", "LEVEL", &durability)
       .str("--admin", "ADDR", &admin_addr)
       .str("--log-level", "LEVEL", &log_level);
   flags.parse(arg_rest(argc, argv, 3));
   apply_log_level(log_level);
+  apply_durability(durability);
 
   // One process registry shared by daemon, cache, and batch servers;
   // declared before the daemon and admin endpoint that borrow it.
   metrics::Registry registry;
+  const FsyncCounterScope fsync_scope(registry);
   opts.registry = &registry;
   std::optional<service::Daemon> daemon;
   try {
@@ -443,7 +474,11 @@ int run_serve(int argc, char** argv) {
   const auto reports = once ? daemon->drain_once() : daemon->run();
   std::uint64_t failed = 0;
   for (const auto& r : reports) {
-    if (r.ok) {
+    if (r.resumed) {
+      // Published by a crashed predecessor; this run only finished the
+      // spool move (the crash-recovery e2e greps for this line).
+      std::cout << r.name << ": resumed (already published)\n";
+    } else if (r.ok) {
       std::cout << r.name << ": " << r.runs << " runs, " << r.cache_hits
                 << " cached, " << r.computed << " computed (hit rate "
                 << Table::fmt(r.hit_rate(), 3) << ") in "
@@ -473,7 +508,7 @@ extern "C" void handle_stop_signal(int) {
 /// client's SHUTDOWN frame.
 int run_serve_socket(int argc, char** argv) {
   service::SocketServerOptions opts;
-  std::string listen_addr, admin_addr, log_level;
+  std::string listen_addr, admin_addr, log_level, durability;
   // --listen is the mode selector, not an option of the mode: pull it
   // (and its value) out first, then hand the rest to the table.
   std::vector<std::string> rest;
@@ -488,20 +523,24 @@ int run_serve_socket(int argc, char** argv) {
   FlagSet flags("serve --listen", "serve --listen <path|host:port>");
   flags.str("--cache-dir", "DIR", &opts.cache_dir)
       .size("--cache-budget", "SIZE", &opts.cache_budget)
+      .str("--journal", "PATH", &opts.journal_path)
       .uint("--threads", "N", &opts.threads, 1u << 16)
       .uint("--lanes", "N", &opts.lanes, 1u << 10)
       .uint("--max-requests", "K", &opts.max_requests)
       .uint("--idle-timeout-ms", "M", &opts.idle_timeout_ms, 1u << 30)
       .size("--max-frame", "SIZE", &opts.max_frame_bytes)
       .toggle("--no-remote-shutdown", &opts.allow_remote_shutdown, false)
+      .str("--durability", "LEVEL", &durability)
       .str("--admin", "ADDR", &admin_addr)
       .str("--log-level", "LEVEL", &log_level);
   flags.parse(rest);
   apply_log_level(log_level);
+  apply_durability(durability);
 
   // One process registry shared by the server, its cache, and its batch
   // servers; the admin endpoint scrapes all of it from one page.
   metrics::Registry registry;
+  const FsyncCounterScope fsync_scope(registry);
   opts.registry = &registry;
   std::optional<service::SocketServer> server;
   try {
@@ -749,7 +788,7 @@ int run_cache(int argc, char** argv) {
     usage_error(
         "cache needs a directory and a command: "
         "stats | ls | verify [--quarantine|--delete] | gc --budget SIZE | "
-        "clear");
+        "clear | prewarm | checkpoint");
   }
   const std::string dir = argv[2];
   const std::string command = argv[3];
@@ -838,6 +877,29 @@ int run_cache(int argc, char** argv) {
     return 0;
   }
 
+  if (command == "prewarm") {
+    if (argc > 4) usage_error("cache prewarm takes no flags");
+    // Journal-driven: validates (and page-caches) every entry the replay
+    // knows about, without a directory walk.
+    const auto report = manager->prewarm();
+    std::cout << "checked " << report.checked << "\n"
+              << "ok " << report.ok << "\n"
+              << "invalid " << report.invalid << "\n"
+              << "bytes " << report.bytes << "\n";
+    return report.invalid == 0 ? 0 : 1;
+  }
+
+  if (command == "checkpoint") {
+    if (argc > 4) usage_error("cache checkpoint takes no flags");
+    manager->checkpoint();
+    const auto* journal = manager->journal();
+    std::cout << "snapshot_records "
+              << (journal ? journal->snapshot_records() : 0) << "\n"
+              << "tail_records " << (journal ? journal->tail_records() : 0)
+              << "\n";
+    return 0;
+  }
+
   usage_error("unknown cache command " + command);
 }
 
@@ -849,14 +911,17 @@ int main(int argc, char** argv) {
         << "usage: distapx_cli <algorithm> [--graph FILE | --gen SPEC] "
            "[--seed S] [--eps E] [--maxw W] [--out FILE]\n"
            "       distapx_cli batch <jobfile> [--threads N] [--cache DIR] "
-           "[--cache-budget SIZE] [--csv F] [--json F] [--runs F] [--quiet]\n"
+           "[--cache-budget SIZE] [--durability none|full] [--csv F] "
+           "[--json F] [--runs F] [--quiet]\n"
            "       distapx_cli serve <spool-dir> [--cache-dir DIR] "
            "[--cache-budget SIZE] [--threads N] [--poll-ms M] "
-           "[--max-files K] [--once] [--admin ADDR] [--log-level LEVEL]\n"
+           "[--max-files K] [--once] [--durability none|full] "
+           "[--admin ADDR] [--log-level LEVEL]\n"
            "       distapx_cli serve --listen <path|host:port> "
-           "[--cache-dir DIR] [--cache-budget SIZE] [--threads N] "
-           "[--lanes N] [--max-requests K] [--idle-timeout-ms M] "
-           "[--max-frame SIZE] [--no-remote-shutdown] [--admin ADDR] "
+           "[--cache-dir DIR] [--cache-budget SIZE] [--journal PATH] "
+           "[--threads N] [--lanes N] [--max-requests K] "
+           "[--idle-timeout-ms M] [--max-frame SIZE] "
+           "[--no-remote-shutdown] [--durability none|full] [--admin ADDR] "
            "[--log-level LEVEL]\n"
            "       distapx_cli submit <path|host:port> <jobfile> "
            "[--summary F] [--runs F] [--report F] "
@@ -867,7 +932,8 @@ int main(int argc, char** argv) {
            "[--clients K] [--repeat R] [--pipeline P] "
            "[--connect-timeout-ms M] [--quiet]\n"
            "       distapx_cli cache <dir> {stats | ls [--limit N] | verify "
-           "[--quarantine|--delete] | gc --budget SIZE | clear}\n"
+           "[--quarantine|--delete] | gc --budget SIZE | clear | prewarm | "
+           "checkpoint}\n"
            "algorithms: luby nmis maxis-alg2 maxis-alg3 mwm-lr mwm-lr-det "
            "mcm-2eps mwm-2eps mcm-1eps proposal\n"
            "gen specs: " << gen::spec_usage() << "\n";
