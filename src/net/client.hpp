@@ -34,8 +34,9 @@ namespace distapx::net {
 
 struct SubmitOutcome {
   bool ok = false;
-  ResultPayload result;  ///< filled when ok
-  std::string error;     ///< the server's ERR text when !ok
+  ResultPayload result;   ///< filled when ok
+  std::string error;      ///< the server's ERR text when !ok
+  std::string trace_txt;  ///< rendered span tree (submit_traced only)
 };
 
 class Client {
@@ -55,6 +56,11 @@ class Client {
   /// Submits one job file (its raw bytes). RESULT and ERR are the two
   /// expected replies; anything else throws NetError.
   SubmitOutcome submit(std::string_view job_file_text);
+
+  /// submit(), but over SUBMITTRACE: the server echoes the job's span
+  /// tree in SubmitOutcome::trace_txt alongside the (byte-identical)
+  /// result sections. RESULTTRACE and ERR are the expected replies.
+  SubmitOutcome submit_traced(std::string_view job_file_text);
 
   /// Pipelining half 1: writes one SUBMIT frame without waiting.
   void send_submit(std::string_view job_file_text);

@@ -43,6 +43,8 @@ enum class FrameType : std::uint8_t {
   kStatsReq = 7,  ///< client -> server: counter snapshot request
   kStats = 8,     ///< server -> client: key-value counter lines
   kShutdown = 9,  ///< client -> server: drain and stop; echoed as the ack
+  kSubmitTrace = 10,  ///< client -> server: SUBMIT that wants its trace back
+  kResultTrace = 11,  ///< server -> client: RESULT + rendered trace tree
 };
 
 bool is_known_frame_type(std::uint8_t type) noexcept;

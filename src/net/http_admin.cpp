@@ -6,13 +6,18 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <list>
 #include <thread>
 #include <vector>
 
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "service/result_cache.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
+#include "support/trace.hpp"
 
 namespace distapx::net {
 
@@ -40,10 +45,96 @@ std::uint64_t now_ms() {
           .count());
 }
 
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+/// The /statusz page: identity and configuration a human reaches for
+/// first during an incident, ahead of any metric math.
+std::string render_statusz(const metrics::Snapshot& snap,
+                           const AdminContext& ctx) {
+  std::string out = "distapx server status\n\n";
+  out += "build: " __VERSION__ "\n";
+  out += "engine_version: " + std::to_string(service::kEngineVersion) + '\n';
+  out += "protocol_version: " + std::to_string(kProtocolVersion) + '\n';
+  out += "wire_version: " + std::to_string(kWireVersion) + '\n';
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - ctx.start_time);
+  out += "uptime_seconds: " +
+         std::to_string(uptime.count() > 0 ? uptime.count() : 0) + '\n';
+  if (ctx.status_fields != nullptr) {
+    for (const auto& [key, value] : *ctx.status_fields) {
+      out += key + ": " + value + '\n';
+    }
+  }
+  out += '\n';
+  const auto gauge_line = [&](const char* name) {
+    out += std::string(name) + ": " +
+           std::to_string(snap.gauge_or(name)) + '\n';
+  };
+  gauge_line("ready");
+  gauge_line("draining");
+  gauge_line("connections_open");
+  gauge_line("queue_depth");
+  out += '\n';
+  out += "process_cpu_seconds_total: " +
+         format_double(snap.float_or("process_cpu_seconds_total")) + '\n';
+  gauge_line("process_max_rss_bytes");
+  gauge_line("process_minor_faults_total");
+  gauge_line("process_major_faults_total");
+  gauge_line("process_open_fds");
+  if (ctx.sink != nullptr) {
+    out += "\ntraces_published: " +
+           std::to_string(ctx.sink->published_total()) + '\n';
+  }
+  return out;
+}
+
+/// The /vars page: every metric as one "name value" line — counters and
+/// gauges verbatim, histograms expanded into count/sum and quantiles,
+/// both cumulative and over the recent sampling windows.
+std::string render_vars(const metrics::Snapshot& snap) {
+  std::string out;
+  for (const auto& c : snap.counters) {
+    out += c.name + ' ' + std::to_string(c.value) + '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    out += g.name + ' ' + std::to_string(g.value) + '\n';
+  }
+  for (const auto& f : snap.floats) {
+    out += f.name + ' ' + format_double(f.value) + '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    out += h.name + "_count " + std::to_string(h.hist.count) + '\n';
+    out += h.name + "_sum " + format_double(h.hist.sum) + '\n';
+    out += h.name + "_p50 " + format_double(h.hist.quantile(0.50)) + '\n';
+    out += h.name + "_p95 " + format_double(h.hist.quantile(0.95)) + '\n';
+    out += h.name + "_p99 " + format_double(h.hist.quantile(0.99)) + '\n';
+    out += h.name + "_recent_count " + std::to_string(h.recent.count) + '\n';
+    out +=
+        h.name + "_recent_p50 " + format_double(h.recent.quantile(0.50)) + '\n';
+    out +=
+        h.name + "_recent_p95 " + format_double(h.recent.quantile(0.95)) + '\n';
+    out +=
+        h.name + "_recent_p99 " + format_double(h.recent.quantile(0.99)) + '\n';
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string admin_handle_request(std::string_view request,
                                  const metrics::Registry& registry) {
+  AdminContext ctx;
+  ctx.start_time = std::chrono::steady_clock::now();
+  return admin_handle_request(request, registry, ctx);
+}
+
+std::string admin_handle_request(std::string_view request,
+                                 const metrics::Registry& registry,
+                                 const AdminContext& ctx) {
   // Request line: METHOD SP TARGET SP VERSION. Only the first line
   // matters; headers are accepted and ignored.
   const std::size_t eol = request.find("\r\n");
@@ -81,6 +172,18 @@ std::string admin_handle_request(std::string_view request,
     }
     return plain(200, "OK", "ok\n");
   }
+  if (target == "/statusz") {
+    return plain(200, "OK", render_statusz(registry.snapshot(), ctx));
+  }
+  if (target == "/vars") {
+    return plain(200, "OK", render_vars(registry.snapshot()));
+  }
+  if (target == "/tracez") {
+    if (ctx.sink == nullptr) {
+      return plain(200, "OK", "tracing sink not attached\n");
+    }
+    return plain(200, "OK", trace::render_tracez(*ctx.sink));
+  }
   return plain(404, "Not Found", "not found\n");
 }
 
@@ -101,12 +204,22 @@ struct AdminServer::Impl {
     std::uint64_t last_activity_ms = 0;
   };
   std::list<Conn> conns;
+  std::chrono::steady_clock::time_point start_time =
+      std::chrono::steady_clock::now();
 
   explicit Impl(AdminOptions o)
       : opts(std::move(o)),
         listener(Listener::open(parse_endpoint(opts.endpoint))) {
     DISTAPX_ENSURE_MSG(opts.registry != nullptr,
                        "AdminServer requires a registry");
+  }
+
+  [[nodiscard]] AdminContext context() const {
+    AdminContext ctx;
+    ctx.sink = opts.trace_sink;
+    ctx.status_fields = &opts.status_fields;
+    ctx.start_time = start_time;
+    return ctx;
   }
 
   void run() {
@@ -180,7 +293,7 @@ struct AdminServer::Impl {
       }
       if (c.in.find("\r\n\r\n") != std::string::npos ||
           c.in.find("\n\n") != std::string::npos) {
-        c.out = admin_handle_request(c.in, *opts.registry);
+        c.out = admin_handle_request(c.in, *opts.registry, context());
         c.responding = true;
         return true;
       }

@@ -269,6 +269,10 @@ BatchResult BatchServer::serve() {
   };
   auto drain = [&] {
     NetworkLease lease;  // one reusable Network per worker
+    // Worker threads are fresh — the submitting thread's context does not
+    // propagate — so the job's collector is installed explicitly here.
+    const trace::ContextGuard trace_guard(
+        trace::Context{opts_.trace, opts_.trace_parent});
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= units.size()) return;
@@ -280,13 +284,28 @@ BatchResult BatchServer::serve() {
         if (opts_.cache != nullptr) {
           const Fingerprint key =
               run_fingerprint(job.cache_key_prefix, seed);
-          if (auto cached = opts_.cache->lookup(key)) {
-            rows[u.job][u.run] = *cached;
+          bool hit = false;
+          {
+            trace::ScopedSpan span("cache-lookup");
+            span.annotate("seed", seed);
+            if (auto cached = opts_.cache->lookup(key)) {
+              rows[u.job][u.run] = *cached;
+              hit = true;
+            }
+          }
+          if (hit) {
             cache_hits.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
-          rows[u.job][u.run] = timed_dispatch(job, lease, seed, u.job);
+          {
+            trace::ScopedSpan span("compute");
+            span.annotate("algo", job.spec.algorithm);
+            span.annotate("seed", seed);
+            rows[u.job][u.run] = timed_dispatch(job, lease, seed, u.job);
+          }
           try {
+            trace::ScopedSpan span("cache-store");
+            span.annotate("seed", seed);
             opts_.cache->store(key, rows[u.job][u.run]);
           } catch (const JobError&) {
             // A fill failure (disk full, unwritable cache dir) degrades
@@ -295,6 +314,9 @@ BatchResult BatchServer::serve() {
             // batch. The next lookup of this key simply misses again.
           }
         } else {
+          trace::ScopedSpan span("compute");
+          span.annotate("algo", job.spec.algorithm);
+          span.annotate("seed", seed);
           rows[u.job][u.run] = timed_dispatch(job, lease, seed, u.job);
         }
       } catch (...) {

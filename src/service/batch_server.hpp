@@ -27,6 +27,7 @@
 #include "support/fingerprint.hpp"
 #include "support/metrics.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace distapx::service {
 
@@ -127,6 +128,13 @@ struct BatchOptions {
   /// dropped (pure batch CLI runs pay nothing); the serving tiers pass
   /// their process registry. Not owned; must outlive serve().
   metrics::Registry* registry = nullptr;
+  /// Span destination: each (job, seed) unit records cache-lookup /
+  /// compute / cache-store child spans under `trace_parent` (the caller's
+  /// open span — the socket lane's lane-execute, the daemon's file span).
+  /// Null = no tracing. Not owned; must outlive serve(). The collector is
+  /// thread-safe, so all workers share it.
+  trace::Collector* trace = nullptr;
+  std::uint32_t trace_parent = 0;
 };
 
 /// Shards submitted jobs into per-seed work units and serves them over one

@@ -129,6 +129,35 @@ JobFileReport Daemon::process_file(const std::string& path) {
   const fs::path done = fs::path(opts_.spool_dir) / "done";
   const fs::path failed = fs::path(opts_.spool_dir) / "failed";
 
+  // Per-file trace: one root span covering claim-to-move, with parse /
+  // publish children here and per-seed cache-lookup / compute /
+  // cache-store children recorded by the BatchServer workers.
+  std::optional<trace::Collector> tracer;
+  std::uint32_t file_span = 0;
+  if (trace::enabled() &&
+      (opts_.trace_sink != nullptr || opts_.slow_ms != 0)) {
+    tracer.emplace(++trace_seq_, "spool");
+    file_span = tracer->begin("serve-file");
+    tracer->annotate(file_span, "file", report.name);
+  }
+  const std::uint64_t trace_id = tracer ? tracer->id() : 0;
+  const auto finish_trace = [&](const char* outcome) {
+    if (!tracer) return;
+    tracer->annotate(file_span, "outcome", outcome);
+    tracer->end(file_span);
+    const trace::Trace t = tracer->finish();
+    if (opts_.trace_sink != nullptr) opts_.trace_sink->publish(t);
+    if (opts_.slow_ms != 0 &&
+        t.duration_ns > std::uint64_t{opts_.slow_ms} * 1'000'000ull) {
+      logx::warn("slow_job", {{"trace", t.id},
+                              {"endpoint", t.endpoint},
+                              {"duration_ms", static_cast<double>(
+                                                  t.duration_ns) /
+                                                  1e6},
+                              {"spans", trace::flatten_spans(t)}});
+    }
+  };
+
   try {
     // Resume: a crashed predecessor journaled `P name` and the done files
     // are complete — the only thing missing is the spool move. Finish it
@@ -143,7 +172,9 @@ JobFileReport Daemon::process_file(const std::string& path) {
       report.resumed = true;
       reg_->counter("spool_resumed_total").inc();
       reg_->counter("spool_files_served_total").inc();
-      logx::info("job_file_resumed", {{"file", report.name}});
+      logx::info("job_file_resumed",
+                 {{"file", report.name}, {"trace", trace_id}});
+      finish_trace("resumed");
       return report;
     }
 
@@ -151,8 +182,13 @@ JobFileReport Daemon::process_file(const std::string& path) {
     batch_opts.threads = opts_.threads;
     batch_opts.cache = cache();
     batch_opts.registry = reg_;
+    batch_opts.trace = tracer ? &*tracer : nullptr;
+    batch_opts.trace_parent = file_span;
     BatchServer server(batch_opts);
+    std::uint32_t parse_span = 0;
+    if (tracer) parse_span = tracer->begin("parse", file_span);
     server.submit_all(load_job_file(path));
+    if (tracer) tracer->end(parse_span);
     if (server.num_jobs() == 0) throw JobError("job file contains no jobs");
     const BatchResult result = server.serve();
 
@@ -167,6 +203,8 @@ JobFileReport Daemon::process_file(const std::string& path) {
     // the cache), never a consumed-but-unreported job. Rendering goes
     // through the shared report sink, so these bytes are the same ones
     // the socket server returns in a RESULT frame.
+    std::uint32_t publish_span = 0;
+    if (tracer) publish_span = tracer->begin("publish", file_span);
     const RenderedResult rendered =
         render_result(job_path.filename().string(), result);
     write_text(done / (report.name + ".summary.csv"), rendered.summary_csv);
@@ -183,11 +221,17 @@ JobFileReport Daemon::process_file(const std::string& path) {
     failpoint::hit("daemon_publish_move");
     move_file(job_path, done / job_path.filename());
     journal_->append("D " + report.name);
+    if (tracer) {
+      tracer->annotate(publish_span, "runs", report.runs);
+      tracer->end(publish_span);
+    }
     reg_->counter("spool_files_served_total").inc();
     logx::info("job_file_served", {{"file", report.name},
                                    {"runs", report.runs},
                                    {"cache_hits", report.cache_hits},
-                                   {"computed", report.computed}});
+                                   {"computed", report.computed},
+                                   {"trace", trace_id}});
+    finish_trace("served");
   } catch (const failpoint::Failure&) {
     // A simulated crash must behave like a real one: unwind out of the
     // daemon entirely rather than being quarantined as a bad job file.
@@ -198,8 +242,10 @@ JobFileReport Daemon::process_file(const std::string& path) {
     report.ok = false;
     report.error = e.what();
     reg_->counter("spool_files_quarantined_total").inc();
-    logx::warn("job_file_quarantined",
-               {{"file", report.name}, {"err", report.error}});
+    logx::warn("job_file_quarantined", {{"file", report.name},
+                                        {"err", report.error},
+                                        {"trace", trace_id}});
+    finish_trace("quarantined");
     try {
       write_text(failed / (report.name + ".error"), report.error + "\n");
       move_file(job_path, failed / job_path.filename());

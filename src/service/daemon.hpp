@@ -57,6 +57,7 @@
 
 #include "service/result_cache.hpp"
 #include "support/changelog.hpp"
+#include "support/trace.hpp"
 
 namespace distapx::service {
 
@@ -83,6 +84,14 @@ struct DaemonOptions {
   /// CLI passes the process registry so --admin scrapes the daemon too.
   /// Null -> a private registry. Not owned; must outlive the daemon.
   metrics::Registry* registry = nullptr;
+  /// Where completed per-file traces are published (recent ring +
+  /// slowest-K, rendered by GET /tracez). Null = per-file traces are not
+  /// built at all. Not owned; must outlive the daemon.
+  trace::TraceSink* trace_sink = nullptr;
+  /// A job file whose end-to-end trace exceeds this many milliseconds
+  /// emits one rate-limited `event=slow_job` log line with the flattened
+  /// span breakdown. 0 = disabled (the default).
+  std::uint32_t slow_ms = 0;
 };
 
 /// Outcome of one job file, as recorded in done/NAME.report.txt.
@@ -161,6 +170,9 @@ class Daemon {
   std::unordered_set<std::string> published_;
   std::atomic<bool> stop_{false};
   std::uint64_t served_ = 0;
+  /// Trace-id sequence for per-file traces (ids are per-daemon, like the
+  /// socket tier's submit numbers are per-server).
+  std::uint64_t trace_seq_ = 0;
   /// Job-file names that could not be moved out of the spool: skipped by
   /// drain_once so a broken done/failed directory cannot busy-loop run().
   std::unordered_set<std::string> stuck_;

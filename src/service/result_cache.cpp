@@ -11,6 +11,7 @@
 #include "graph/genspec.hpp"
 #include "service/cache_manager.hpp"
 #include "support/fsutil.hpp"
+#include "support/trace.hpp"
 
 namespace distapx::service {
 
@@ -277,6 +278,7 @@ std::optional<RunRow> ResultCache::lookup(const Fingerprint& key) {
   const EntryStatus status = check_entry_file(entry_path(key), key, &row);
   if (status == EntryStatus::kOk) {
     hits_.inc();
+    trace::annotate_current("outcome", "hit");
     if (manager_) {
       manager_->record_get(key);
       // record_get can *grow* the accounting: it adopts entries another
@@ -293,6 +295,9 @@ std::optional<RunRow> ResultCache::lookup(const Fingerprint& key) {
     // stale version. Count it separately — a burst of rejects after an
     // engine bump is expected, a burst during steady state is not.
     rejected_.inc();
+    trace::annotate_current("outcome", "rejected");
+  } else {
+    trace::annotate_current("outcome", "miss");
   }
   misses_.inc();
   return std::nullopt;
@@ -350,7 +355,12 @@ void ResultCache::enforce_budget() {
   // itself, so a steady stream of fills amortizes each O(n log n) gc over
   // ~budget/8 bytes of headroom instead of re-triggering per fill.
   if (manager_->live_bytes() > budget_bytes_) {
-    manager_->gc(budget_bytes_ - budget_bytes_ / 8);
+    const GcReport report = manager_->gc(budget_bytes_ - budget_bytes_ / 8);
+    if (report.evicted_entries > 0) {
+      trace::annotate_current("evict_cause", "budget");
+      trace::annotate_current("evicted_entries", report.evicted_entries);
+      trace::annotate_current("evicted_bytes", report.evicted_bytes);
+    }
   }
 }
 

@@ -36,6 +36,12 @@ struct PendingJob {
   std::uint64_t submit_no = 0;  ///< 1-based global arrival number (label)
   std::string payload;          ///< raw job-file bytes
   Clock::time_point enqueued;   ///< arrival, for the job_latency_ms series
+  /// Span collector for this SUBMIT (trace id = submit_no); null when
+  /// tracing is off and no echo was requested. Shared with the lane and
+  /// the flush watcher that closes the respond span.
+  std::shared_ptr<trace::Collector> tracer;
+  std::uint32_t queue_span = 0;  ///< open queue-wait span, ended by the lane
+  bool want_trace = false;       ///< SUBMITTRACE: echo the tree in the reply
 };
 
 /// What a lane hands back to the I/O thread.
@@ -46,6 +52,8 @@ struct Completion {
   bool ok = false;
   net::ResultPayload result;  ///< when ok
   std::string error;          ///< when !ok
+  std::shared_ptr<trace::Collector> tracer;  ///< carried through from the job
+  bool want_trace = false;
 };
 
 /// Journal record codecs. The S payload carries the raw job-file bytes
@@ -98,6 +106,17 @@ struct Conn {
   /// Reap deadline while mid-frame or flushing against a dead-weight
   /// peer; Clock::time_point::max() = no deadline.
   Clock::time_point deadline = Clock::time_point::max();
+  /// Cumulative bytes flushed to the peer over the conn's lifetime;
+  /// against it, each traced response records the flushed_total at which
+  /// its bytes are fully out — that is when its respond span closes and
+  /// its trace publishes. FIFO (responses leave in enqueue order).
+  std::uint64_t flushed_total = 0;
+  struct PendingFlush {
+    std::uint64_t target = 0;  ///< flushed_total at which the reply is out
+    std::shared_ptr<trace::Collector> tracer;
+    std::uint32_t respond_span = 0;
+  };
+  std::deque<PendingFlush> flush_watch;
 
   explicit Conn(fdio::Fd f, std::size_t max_frame)
       : fd(std::move(f)), reader(max_frame) {}
@@ -296,7 +315,7 @@ SocketServerStats SocketServer::run() {
   std::vector<Completion> completions;  // guarded by mu
   bool lanes_exit = false;              // guarded by mu
 
-  const auto execute = [this](PendingJob& job) {
+  const auto execute = [this](PendingJob& job, std::uint32_t exec_span) {
     Completion done;
     done.conn_id = job.conn_id;
     done.conn_seq = job.conn_seq;
@@ -307,10 +326,18 @@ SocketServerStats SocketServer::run() {
       batch_opts.threads = opts_.threads;
       batch_opts.cache = cache();
       batch_opts.registry = reg_;
+      // Per-seed child spans (cache-lookup / compute / cache-store) hang
+      // off this lane's execute span.
+      batch_opts.trace = job.tracer.get();
+      batch_opts.trace_parent = exec_span;
       BatchServer server(batch_opts);
       server.submit_all(parse_job_file(is));
       if (server.num_jobs() == 0) throw JobError("job file contains no jobs");
       const BatchResult result = server.serve();
+      if (job.tracer) {
+        job.tracer->annotate(exec_span, "runs", result.total_runs);
+        job.tracer->annotate(exec_span, "cache_hits", result.cache_hits);
+      }
       const RenderedResult rendered =
           render_result("submit-" + std::to_string(job.submit_no), result);
       done.result.summary_csv = rendered.summary_csv;
@@ -333,7 +360,27 @@ SocketServerStats SocketServer::run() {
       done.ok = false;
       done.error = e.what();
     }
+    done.tracer = std::move(job.tracer);
+    done.want_trace = job.want_trace;
     return done;
+  };
+
+  // Completes one trace: stamps open spans, publishes into the sink, and
+  // emits the slow_job line when the job blew the --slow-ms budget. The
+  // logger's per-event token bucket rate-limits a storm of slow jobs.
+  const auto finalize_trace = [this](trace::Collector& tr) {
+    trace::Trace t = tr.finish();
+    if (opts_.trace_sink != nullptr) opts_.trace_sink->publish(t);
+    if (opts_.slow_ms != 0 &&
+        t.duration_ns >
+            static_cast<std::uint64_t>(opts_.slow_ms) * 1'000'000ull) {
+      logx::warn("slow_job",
+                 {{"trace", t.id},
+                  {"endpoint", t.endpoint},
+                  {"duration_ms",
+                   static_cast<double>(t.duration_ns) / 1e6},
+                  {"spans", trace::flatten_spans(t)}});
+    }
   };
 
   std::vector<std::thread> lanes;
@@ -361,9 +408,19 @@ SocketServerStats SocketServer::run() {
           ++executing;
           counters.executing.set(static_cast<std::int64_t>(executing));
         }
+        trace::Collector* const tr = job.tracer.get();
+        std::uint32_t exec_span = 0;
+        if (tr != nullptr) {
+          tr->end(job.queue_span);
+          exec_span = tr->begin("lane-execute");
+        }
         const auto exec_start = Clock::now();
-        Completion done = execute(job);
+        Completion done = execute(job, exec_span);
         const auto exec_end = Clock::now();
+        if (tr != nullptr) {
+          if (!done.ok) tr->annotate(exec_span, "outcome", "error");
+          tr->end(exec_span);
+        }
         counters.lane_busy_us.inc(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 exec_end - exec_start)
@@ -436,6 +493,7 @@ SocketServerStats SocketServer::run() {
   const auto erase_conn = [&](std::map<std::uint64_t, Conn>::iterator it) {
     const std::uint64_t id = it->first;
     std::size_t purged = 0;
+    std::vector<std::shared_ptr<trace::Collector>> orphaned;
     {
       std::lock_guard lock(mu);
       const auto pit = pending.find(id);
@@ -443,10 +501,29 @@ SocketServerStats SocketServer::run() {
         purged = pit->second.size();
         queued -= purged;
         counters.queue_depth.set(static_cast<std::int64_t>(queued));
+        for (PendingJob& pj : pit->second) {
+          if (pj.tracer) {
+            pj.tracer->annotate(pj.queue_span, "outcome", "conn-lost");
+            orphaned.push_back(std::move(pj.tracer));
+          }
+        }
         pending.erase(pit);
         rr_ring.erase(std::remove(rr_ring.begin(), rr_ring.end(), id),
                       rr_ring.end());
       }
+    }
+    // Publish outside the scheduler lock: the sink's slowest-K writer
+    // mutex and the slow_job log line have no business under mu.
+    for (const auto& tracer : orphaned) finalize_trace(*tracer);
+    for (Conn::PendingFlush& fw : it->second.flush_watch) {
+      if (fw.tracer) {
+        fw.tracer->annotate(fw.respond_span, "outcome", "conn-lost");
+        fw.tracer->end(fw.respond_span);
+        finalize_trace(*fw.tracer);
+      }
+    }
+    for (auto& [seq, done] : it->second.ready) {
+      if (done.tracer) finalize_trace(*done.tracer);
     }
     const std::uint64_t dropped = purged + it->second.ready.size();
     if (dropped > 0) {
@@ -531,7 +608,9 @@ SocketServerStats SocketServer::run() {
       case net::FrameType::kStatsReq:
         enqueue_response(conn, net::FrameType::kStats, stats_text());
         return;
-      case net::FrameType::kSubmit: {
+      case net::FrameType::kSubmit:
+      case net::FrameType::kSubmitTrace: {
+        const bool want_trace = frame.type == net::FrameType::kSubmitTrace;
         if (draining) {
           enqueue_response(conn, net::FrameType::kError,
                            "server is draining; submit rejected");
@@ -540,6 +619,16 @@ SocketServerStats SocketServer::run() {
         // inc() returns the post-increment value: the counter itself is
         // the submit-number sequence, no shadow variable.
         const std::uint64_t submit_no = counters.submits_accepted.inc();
+        // The global gate covers the ambient always-on tracing; an
+        // explicit echo request overrides it for this one job.
+        std::shared_ptr<trace::Collector> tracer;
+        std::uint32_t recv_span = 0;
+        if (trace::enabled() || want_trace) {
+          tracer = std::make_shared<trace::Collector>(submit_no, "submit");
+          recv_span = tracer->begin("recv");
+          tracer->annotate(recv_span, "conn", conn_id);
+          tracer->annotate(recv_span, "bytes", frame.payload.size());
+        }
         // The claim must be durable before the job can execute: once a
         // lane may have stored partial cache entries, a crash must find
         // the S record or recovery has nothing to finish. An append
@@ -547,23 +636,32 @@ SocketServerStats SocketServer::run() {
         if (journal_ &&
             !journal_->append(encode_submit_record(submit_no,
                                                    frame.payload))) {
-          logx::warn("socket_journal_append_failed", {{"no", submit_no}});
+          logx::warn("socket_journal_append_failed",
+                     {{"no", submit_no}, {"trace", submit_no}});
         }
         ++conn.inflight;
         ++inflight_total;
         const std::uint64_t conn_seq = conn.next_submit_seq++;
+        std::uint32_t queue_span = 0;
+        if (tracer) {
+          tracer->end(recv_span);
+          queue_span = tracer->begin("queue-wait");
+        }
         {
           std::lock_guard lock(mu);
           auto& q = pending[conn_id];
           if (q.empty()) rr_ring.push_back(conn_id);
           q.push_back(PendingJob{conn_id, conn_seq, submit_no,
-                                 std::move(frame.payload), Clock::now()});
+                                 std::move(frame.payload), Clock::now(),
+                                 std::move(tracer), queue_span, want_trace});
           ++queued;
           counters.queue_depth.set(static_cast<std::int64_t>(queued));
           counters.queue_depth_at_submit.observe(
               static_cast<double>(queued));
         }
-        logx::debug("submit", {{"conn", conn_id}, {"no", submit_no}});
+        logx::debug("submit", {{"conn", conn_id},
+                               {"no", submit_no},
+                               {"trace", submit_no}});
         cv.notify_one();
         if (opts_.max_requests != 0 && submit_no >= opts_.max_requests) {
           begin_drain();
@@ -583,6 +681,7 @@ SocketServerStats SocketServer::run() {
         if (conn.inflight == 0) begin_close(conn);
         return;
       case net::FrameType::kResult:
+      case net::FrameType::kResultTrace:
       case net::FrameType::kError:
       case net::FrameType::kPong:
       case net::FrameType::kStats:
@@ -658,7 +757,22 @@ SocketServerStats SocketServer::run() {
       const ssize_t w = send_some(conn.fd.get(), conn.outbuf.data() + conn.outoff,
                                   conn.outbuf.size() - conn.outoff);
       if (w < 0) return false;
-      if (w > 0) counters.bytes_written.inc(static_cast<std::uint64_t>(w));
+      if (w > 0) {
+        counters.bytes_written.inc(static_cast<std::uint64_t>(w));
+        conn.flushed_total += static_cast<std::uint64_t>(w);
+        // A respond span ends when its response bytes have actually left
+        // for the kernel, not when they were enqueued — so queue-behind
+        // time under pipelining is visible in the trace.
+        while (!conn.flush_watch.empty() &&
+               conn.flush_watch.front().target <= conn.flushed_total) {
+          Conn::PendingFlush fw = std::move(conn.flush_watch.front());
+          conn.flush_watch.pop_front();
+          if (fw.tracer) {
+            fw.tracer->end(fw.respond_span);
+            finalize_trace(*fw.tracer);
+          }
+        }
+      }
       if (w > 0 && opts_.idle_timeout_ms != 0) {
         // Progress resets the reap clock: only a peer *refusing* to read
         // its responses runs it out, not a slow one.
@@ -689,6 +803,7 @@ SocketServerStats SocketServer::run() {
       if (it == conns.end()) {
         // Client left while the job ran; nowhere to send the response.
         counters.jobs_dropped.inc();
+        if (done.tracer) finalize_trace(*done.tracer);
         continue;
       }
       Conn& conn = it->second;
@@ -699,11 +814,42 @@ SocketServerStats SocketServer::run() {
       while (!conn.ready.empty() &&
              conn.ready.begin()->first == conn.next_deliver_seq) {
         Completion& head = conn.ready.begin()->second;
+        std::shared_ptr<trace::Collector> tracer = std::move(head.tracer);
+        std::uint32_t respond_span = 0;
         if (head.ok) {
-          enqueue_response(conn, net::FrameType::kResult,
-                           net::encode_result(head.result));
+          std::string trace_txt;
+          if (head.want_trace && tracer) {
+            // Render before opening the respond span so the echoed tree
+            // is complete (the respond span itself cannot appear in the
+            // bytes that carry it).
+            trace_txt = trace::render_trace_tree(tracer->snapshot());
+          }
+          if (tracer) respond_span = tracer->begin("respond");
+          if (head.want_trace && tracer &&
+              net::result_trace_wire_size(head.result, trace_txt) <=
+                  net::kMaxWirePayload) {
+            enqueue_response(conn, net::FrameType::kResultTrace,
+                             net::encode_result_trace(head.result,
+                                                      trace_txt));
+          } else if (head.want_trace) {
+            // Result near the frame cap: the echo would not fit. Fail the
+            // request rather than silently answering a SUBMITTRACE with a
+            // bare RESULT the client is not expecting.
+            enqueue_response(conn, net::FrameType::kError,
+                             "result too large for trace echo; "
+                             "resubmit without --trace");
+          } else {
+            enqueue_response(conn, net::FrameType::kResult,
+                             net::encode_result(head.result));
+          }
         } else {
+          if (tracer) respond_span = tracer->begin("respond");
           enqueue_response(conn, net::FrameType::kError, head.error);
+        }
+        if (tracer) {
+          conn.flush_watch.push_back(Conn::PendingFlush{
+              conn.flushed_total + (conn.outbuf.size() - conn.outoff),
+              std::move(tracer), respond_span});
         }
         conn.ready.erase(conn.ready.begin());
         ++conn.next_deliver_seq;

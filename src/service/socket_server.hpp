@@ -70,6 +70,7 @@
 #include "support/changelog.hpp"
 #include "support/fdio.hpp"
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace distapx::service {
 
@@ -117,6 +118,15 @@ struct SocketServerOptions {
   /// (instrumentation is unconditional either way). Not owned; must
   /// outlive the server.
   metrics::Registry* registry = nullptr;
+  /// Where completed per-SUBMIT traces are published (the recent ring +
+  /// slowest-K retention GET /tracez renders). Null = traces are built
+  /// only when a client asks for an echo (SUBMITTRACE) and discarded
+  /// after delivery. Not owned; must outlive run().
+  trace::TraceSink* trace_sink = nullptr;
+  /// A job whose end-to-end trace exceeds this many milliseconds emits
+  /// one rate-limited `event=slow_job` log line carrying the flattened
+  /// span breakdown. 0 = disabled (the default).
+  std::uint32_t slow_ms = 0;
 };
 
 /// Counters over one run(). Everything here is operational telemetry —

@@ -1,6 +1,7 @@
 #include "support/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -9,6 +10,12 @@
 namespace distapx::metrics {
 
 namespace {
+
+double steady_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Shortest round-trip-ish rendering for bucket bounds and sums ("0.25",
 /// "10", "2.5e+06") — %g keeps the ladder values readable, which matters
@@ -67,7 +74,9 @@ double HistogramSnapshot::quantile(double q) const noexcept {
 }
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1),
+      wincounts_(2 * (bounds_.size() + 1)) {
   for (std::size_t i = 1; i < bounds_.size(); ++i) {
     DISTAPX_ENSURE_MSG(bounds_[i - 1] < bounds_[i],
                        "histogram bounds must be strictly increasing");
@@ -76,14 +85,52 @@ Histogram::Histogram(std::vector<double> bounds)
 
 void Histogram::observe(double v) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
-      1, std::memory_order_relaxed);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  const std::size_t stride = counts_.size();
+  wincounts_[active_.load(std::memory_order_relaxed) * stride + bucket]
+      .fetch_add(1, std::memory_order_relaxed);
   // No atomic<double>::fetch_add before C++20 library support settles;
   // a CAS loop is equivalent and contention here is negligible.
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+}
+
+HistogramSnapshot Histogram::recent(double now_seconds) const {
+  const std::size_t stride = counts_.size();
+  {
+    const std::lock_guard<std::mutex> lock(rotate_mu_);
+    if (!window_started_) {
+      window_started_ = true;
+      window_start_ = now_seconds;
+    } else if (now_seconds - window_start_ >= 2 * window_len_) {
+      // Both windows are stale; nothing observed lately counts as recent.
+      for (auto& c : wincounts_) c.store(0, std::memory_order_relaxed);
+      window_start_ = now_seconds;
+    } else if (now_seconds - window_start_ >= window_len_) {
+      // Retire the active window, clear and activate the other one.
+      const std::uint32_t next =
+          1 - active_.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < stride; ++i) {
+        wincounts_[next * stride + i].store(0, std::memory_order_relaxed);
+      }
+      active_.store(next, std::memory_order_relaxed);
+      window_start_ = now_seconds;
+    }
+  }
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(stride);
+  for (std::size_t i = 0; i < stride; ++i) {
+    const std::uint64_t n =
+        wincounts_[i].load(std::memory_order_relaxed) +
+        wincounts_[stride + i].load(std::memory_order_relaxed);
+    s.counts.push_back(n);
+    s.count += n;
+  }
+  return s;
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -122,6 +169,13 @@ std::int64_t Snapshot::gauge_or(std::string_view name,
   return fallback;
 }
 
+double Snapshot::float_or(std::string_view name, double fallback) const {
+  for (const auto& f : floats) {
+    if (f.name == name) return f.value;
+  }
+  return fallback;
+}
+
 const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
   for (const auto& h : histograms) {
     if (h.name == name) return &h.hist;
@@ -145,6 +199,14 @@ Gauge& Registry::gauge(std::string_view name) {
               .first->second;
 }
 
+FloatGauge& Registry::float_gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = floats_.find(name);
+  if (it != floats_.end()) return *it->second;
+  return *floats_.emplace(std::string(name), std::make_unique<FloatGauge>())
+              .first->second;
+}
+
 Histogram& Registry::histogram(std::string_view name,
                                const std::vector<double>& bounds) {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -155,7 +217,21 @@ Histogram& Registry::histogram(std::string_view name,
               .first->second;
 }
 
+void Registry::set_refresh_hook(std::function<void()> hook) {
+  const std::lock_guard<std::mutex> lock(hook_mu_);
+  refresh_hook_ = std::move(hook);
+}
+
 Snapshot Registry::snapshot() const {
+  std::function<void()> hook;
+  {
+    const std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = refresh_hook_;
+  }
+  // Run before taking mu_ so a hook that resolves handles up front but
+  // still calls into the registry cannot deadlock against us.
+  if (hook) hook();
+  const double now = steady_now_seconds();
   const std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
   s.counters.reserve(counters_.size());
@@ -166,9 +242,13 @@ Snapshot Registry::snapshot() const {
   for (const auto& [name, g] : gauges_) {
     s.gauges.push_back({name, g->value()});
   }
+  s.floats.reserve(floats_.size());
+  for (const auto& [name, f] : floats_) {
+    s.floats.push_back({name, f->value()});
+  }
   s.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    s.histograms.push_back({name, h->snapshot()});
+    s.histograms.push_back({name, h->snapshot(), h->recent(now)});
   }
   return s;
 }
@@ -204,6 +284,15 @@ std::string render_prometheus(const Snapshot& snap, std::string_view prefix) {
     out += base;
     out += labels;
     out += ' ' + std::to_string(g.value) + '\n';
+  }
+  last_base = {};
+  for (const auto& f : snap.floats) {
+    const auto [base, labels] = split_labels(f.name);
+    type_header(base, "gauge", last_base);
+    out += prefix;
+    out += base;
+    out += labels;
+    out += ' ' + format_double(f.value) + '\n';
   }
   last_base = {};
   for (const auto& h : snap.histograms) {

@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -75,6 +76,19 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// Gauge for values that are fractional by nature (CPU seconds). Kept
+/// separate from Gauge so integer series stay exact in every renderer.
+class FloatGauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
 /// A histogram's state at one instant. `counts[i]` is the number of
 /// observations in bucket i (NOT cumulative): bucket i < bounds.size()
 /// holds observations v <= bounds[i] (and > bounds[i-1]); the final
@@ -96,8 +110,15 @@ struct HistogramSnapshot {
 };
 
 /// Fixed-bucket histogram. Buckets are chosen at registration and never
-/// change; observe() is two relaxed atomic adds plus a branch-free-ish
+/// change; observe() is three relaxed atomic adds plus a branch-free-ish
 /// upper_bound over ~20 doubles.
+///
+/// Besides the cumulative counts, each histogram keeps a rotating pair of
+/// sampling windows (~60s each) so readers can report "recent" quantiles
+/// — p95 over the last minute or two — next to the all-time ones. The
+/// hot path only bumps the active window's bucket; rotation happens
+/// lazily inside recent(), never on observe(). Prometheus rendering is
+/// cumulative-only and unaffected.
 class Histogram {
  public:
   /// `bounds` must be strictly increasing; an overflow bucket is added
@@ -106,6 +127,21 @@ class Histogram {
 
   void observe(double v) noexcept;
   [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Merged view of the two sampling windows: everything observed within
+  /// roughly the last one to two window lengths. `now_seconds` is any
+  /// monotone clock in seconds (the registry feeds steady_clock; tests
+  /// pass synthetic time). Rotates windows as a side effect — a window
+  /// older than one length is retired, older than two is discarded. The
+  /// returned snapshot has sum == 0 (windows track counts only; quantile
+  /// interpolation never reads sum).
+  [[nodiscard]] HistogramSnapshot recent(double now_seconds) const;
+
+  /// Window length in seconds (fixed; exposed for tests and docs).
+  [[nodiscard]] double window_seconds() const noexcept {
+    return window_len_;
+  }
+
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
     return bounds_;
   }
@@ -114,6 +150,16 @@ class Histogram {
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds_.size() + 1
   std::atomic<double> sum_{0};
+
+  // Two windows of bounds_.size()+1 buckets each, stored back to back;
+  // active_ indexes which half observe() bumps. rotate_mu_ serializes
+  // rotation decisions (readers only — the hot path never takes it).
+  mutable std::vector<std::atomic<std::uint64_t>> wincounts_;
+  mutable std::atomic<std::uint32_t> active_{0};
+  double window_len_ = 60.0;
+  mutable std::mutex rotate_mu_;
+  mutable double window_start_ = 0;  ///< guarded by rotate_mu_
+  mutable bool window_started_ = false;
 };
 
 /// Default latency ladder in milliseconds: 10µs to 10s, roughly 2.5x per
@@ -131,13 +177,19 @@ struct Snapshot {
     std::string name;
     std::int64_t value = 0;
   };
+  struct FloatSample {
+    std::string name;
+    double value = 0;
+  };
   struct HistogramSample {
     std::string name;
     HistogramSnapshot hist;
+    HistogramSnapshot recent;  ///< rotating-window view at snapshot time
   };
 
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
+  std::vector<FloatSample> floats;
   std::vector<HistogramSample> histograms;
 
   /// Value of a counter/gauge by exact name; `fallback` when absent (a
@@ -146,6 +198,8 @@ struct Snapshot {
                                          std::uint64_t fallback = 0) const;
   [[nodiscard]] std::int64_t gauge_or(std::string_view name,
                                       std::int64_t fallback = 0) const;
+  [[nodiscard]] double float_or(std::string_view name,
+                                double fallback = 0) const;
   /// Null when absent.
   [[nodiscard]] const HistogramSnapshot* histogram(
       std::string_view name) const;
@@ -165,10 +219,18 @@ class Registry {
   /// use. The returned reference is stable for the Registry's lifetime.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  FloatGauge& float_gauge(std::string_view name);
   /// Re-registering an existing histogram name returns the existing
   /// instance; its buckets are fixed by the first registration.
   Histogram& histogram(std::string_view name,
                        const std::vector<double>& bounds);
+
+  /// Hook invoked at the start of every snapshot(), before any lock is
+  /// held — the place to refresh sampled gauges (rusage, fd counts) so
+  /// each scrape sees current values. The hook must only touch metric
+  /// handles it already resolved; registering new names from inside it
+  /// deadlocks. One hook per registry; setting replaces.
+  void set_refresh_hook(std::function<void()> hook);
 
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -176,7 +238,10 @@ class Registry {
   mutable std::mutex mu_;  ///< guards the maps, never the metric values
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<FloatGauge>, std::less<>> floats_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable std::mutex hook_mu_;  ///< guards refresh_hook_ set vs. call
+  std::function<void()> refresh_hook_;
 };
 
 /// Prometheus text exposition (version 0.0.4) of a snapshot: one # TYPE

@@ -1,0 +1,68 @@
+#include "support/procstat.hpp"
+
+#include <sys/resource.h>
+
+#include <filesystem>
+#include <system_error>
+
+#include "support/metrics.hpp"
+
+namespace distapx::procstat {
+
+namespace {
+
+double timeval_seconds(const timeval& tv) noexcept {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) / 1e6;
+}
+
+std::int64_t count_open_fds() noexcept {
+  std::error_code ec;
+  std::filesystem::directory_iterator it("/proc/self/fd", ec);
+  if (ec) return -1;
+  std::int64_t n = 0;
+  for (const auto& entry : it) {
+    (void)entry;
+    ++n;
+  }
+  // The iterator itself holds one descriptor while we scan.
+  return n > 0 ? n - 1 : n;
+}
+
+}  // namespace
+
+ProcessUsage sample_process_usage() {
+  ProcessUsage u;
+  struct rusage ru{};
+  if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+    u.cpu_seconds = timeval_seconds(ru.ru_utime) + timeval_seconds(ru.ru_stime);
+    // Linux reports ru_maxrss in kibibytes.
+    u.max_rss_bytes = static_cast<std::int64_t>(ru.ru_maxrss) * 1024;
+    u.minor_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+    u.major_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+  }
+  u.open_fds = count_open_fds();
+  return u;
+}
+
+void install_process_metrics(metrics::Registry& reg) {
+  // Resolve every handle up front: the refresh hook runs inside
+  // snapshot() and must not register names (see set_refresh_hook).
+  auto& cpu = reg.float_gauge("process_cpu_seconds_total");
+  auto& rss = reg.gauge("process_max_rss_bytes");
+  auto& minflt = reg.gauge("process_minor_faults_total");
+  auto& majflt = reg.gauge("process_major_faults_total");
+  auto& fds = reg.gauge("process_open_fds");
+  const auto refresh = [&cpu, &rss, &minflt, &majflt, &fds] {
+    const ProcessUsage u = sample_process_usage();
+    cpu.set(u.cpu_seconds);
+    rss.set(u.max_rss_bytes);
+    minflt.set(static_cast<std::int64_t>(u.minor_faults));
+    majflt.set(static_cast<std::int64_t>(u.major_faults));
+    fds.set(u.open_fds);
+  };
+  refresh();  // gauges are live even before the first scrape
+  reg.set_refresh_hook(refresh);
+}
+
+}  // namespace distapx::procstat

@@ -1,0 +1,47 @@
+// Process self-tracking: rusage-derived CPU/memory/fault gauges plus the
+// open-fd count, refreshed on every metrics snapshot.
+//
+// Serving processes run for days; "how much CPU has this server burned"
+// and "is RSS creeping" are the first questions during an incident, and
+// answering them from the outside (ps, /proc scraping by an operator)
+// loses history and correlation with the serving metrics. Instead the
+// process samples itself: install_process_metrics() registers the gauges
+// below and hooks Registry::snapshot() so every scrape — /metrics,
+// /statusz, the STATS frame, the CLI final report — carries values
+// sampled at scrape time, with zero cost between scrapes.
+//
+// Gauge inventory (names are part of the stable metrics contract):
+//   process_cpu_seconds_total    user+system CPU, fractional seconds
+//   process_max_rss_bytes        peak resident set size
+//   process_minor_faults_total   page reclaims (no I/O)
+//   process_major_faults_total   page faults that hit the disk
+//   process_open_fds             currently open descriptors (-1 when
+//                                /proc/self/fd is unavailable)
+#pragma once
+
+#include <cstdint>
+
+namespace distapx::metrics {
+class Registry;
+}
+
+namespace distapx::procstat {
+
+/// One sample of the process's own resource usage (getrusage RUSAGE_SELF
+/// plus a /proc/self/fd scan).
+struct ProcessUsage {
+  double cpu_seconds = 0;        ///< ru_utime + ru_stime
+  std::int64_t max_rss_bytes = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  std::int64_t open_fds = -1;  ///< -1 when the fd directory can't be read
+};
+
+ProcessUsage sample_process_usage();
+
+/// Registers the process_* gauges in `reg` and installs a snapshot
+/// refresh hook that re-samples them on every scrape. Replaces any
+/// previously installed hook on that registry.
+void install_process_metrics(metrics::Registry& reg);
+
+}  // namespace distapx::procstat

@@ -1,0 +1,298 @@
+// Per-job tracing: where one request's time actually went.
+//
+// The metrics registry (support/metrics.hpp) answers "how is the server
+// doing in aggregate"; this subsystem answers "where did SUBMIT #42's
+// 180ms go" — queue wait vs lane execution vs cache misses vs response
+// flush. The model is deliberately small:
+//
+//   Span      one named, monotonic-clock interval inside a trace, with an
+//             optional parent (tree structure) and free-form key=value
+//             annotations ("algo=luby seed=3 outcome=hit").
+//   Trace     all spans of one unit of served work — one SUBMIT on the
+//             socket tier (trace id = submit_no), one spool file in the
+//             daemon — plus its endpoint name and total duration.
+//   Collector the per-job span builder the serving layers thread through
+//             themselves (explicitly, or via the thread-local Context so
+//             deep layers like ResultCache can annotate the span that is
+//             currently open without signature changes).
+//   TraceSink the server-wide retention buffer: a fixed-slot,
+//             seqlock-stamped ring of the last N completed traces, plus a
+//             "slowest K per endpoint" reservoir. GET /tracez renders
+//             both; `submit --trace` echoes one trace before it is even
+//             published.
+//
+// Cost model: tracing is always-on. When the runtime kill switch is off
+// (DISTAPX_TRACE=off, or set_enabled(false)), the serving layers create
+// no Collector and every ScopedSpan/annotate_current call is one
+// thread-local load and a null check. When on, opening+closing a span is
+// two steady_clock reads and one short uncontended mutex-protected append
+// to the job's own Collector; publication into the sink happens once per
+// *job* (not per span) and copies the encoded trace into a slot as
+// relaxed atomic words under a seqlock stamp, so concurrent /tracez
+// readers never lock writers out and never observe a torn trace —
+// a reader that catches a slot mid-write simply retries or skips it.
+//
+// Nothing here participates in the determinism contract: traces carry
+// wall-clock timings only and never touch RESULT payload bytes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace distapx::trace {
+
+// ---- runtime kill switch -------------------------------------------------
+
+/// Global gate the serving layers check before creating a Collector.
+/// Initialized once from the environment: DISTAPX_TRACE=off|0|false
+/// disables tracing at startup (the bench's baseline); anything else —
+/// including the variable being unset — leaves it on.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+// ---- the span/trace model ------------------------------------------------
+
+/// One interval. Times are nanoseconds relative to the trace's start on
+/// the same steady clock; end_ns == 0 marks a span that was still open
+/// when the trace was snapshotted (rendered with a trailing "(open)").
+struct Span {
+  std::uint32_t id = 0;      ///< 1-based index into Trace::spans
+  std::uint32_t parent = 0;  ///< 1-based parent id; 0 = top level
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::string notes;  ///< preformatted "k=v k2=v2" annotations
+
+  [[nodiscard]] std::uint64_t duration_ns(
+      std::uint64_t fallback_end = 0) const noexcept {
+    const std::uint64_t end = end_ns != 0 ? end_ns : fallback_end;
+    return end > start_ns ? end - start_ns : 0;
+  }
+};
+
+/// One completed (or snapshotted) unit of work. Spans are in start order;
+/// a child's parent always has a smaller id, so the tree renders in one
+/// forward pass.
+struct Trace {
+  std::uint64_t id = 0;        ///< submit_no / spool sequence
+  std::string endpoint;        ///< "submit", "spool", ...
+  std::uint64_t start_unix_ms = 0;  ///< wall clock, display only
+  std::uint64_t duration_ns = 0;    ///< trace start -> finish/snapshot
+  std::uint32_t dropped_spans = 0;  ///< beyond kMaxSpansPerTrace or slot space
+  std::vector<Span> spans;
+};
+
+/// Hard cap on spans one Collector retains (a 500-seed sweep would
+/// otherwise grow a trace without bound); begin() past the cap counts
+/// into dropped_spans and returns the no-op span id 0.
+inline constexpr std::uint32_t kMaxSpansPerTrace = 512;
+
+/// Builds one job's Trace. Thread-safe: the socket lane and every
+/// BatchServer worker it fans out to append to the same Collector (one
+/// short mutex hold per operation — span granularity is per algorithm
+/// run, so contention is negligible next to the work being measured).
+class Collector {
+ public:
+  Collector(std::uint64_t id, std::string endpoint);
+
+  /// Opens a span; returns its 1-based id (0 when the cap is hit — every
+  /// other member treats id 0 as a no-op, so callers never branch).
+  std::uint32_t begin(std::string_view name, std::uint32_t parent = 0);
+  void end(std::uint32_t span) noexcept;
+  /// Appends "key=value" to the span's notes.
+  void annotate(std::uint32_t span, std::string_view key,
+                std::string_view value);
+  void annotate(std::uint32_t span, std::string_view key, std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return endpoint_;
+  }
+  /// Nanoseconds since the trace started (the collector's own clock).
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept;
+
+  /// A copy of the trace as of now: open spans keep end_ns == 0,
+  /// duration_ns = elapsed so far. This is what `submit --trace` echoes
+  /// (the respond span cannot be closed before the response is sent).
+  [[nodiscard]] Trace snapshot() const;
+
+  /// Closes every open span at now and returns the final trace. The
+  /// collector may not be used afterwards.
+  Trace finish();
+
+ private:
+  const std::uint64_t id_;
+  const std::string endpoint_;
+  const std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;
+  Trace trace_;  ///< guarded by mu_ (id/endpoint/start duplicated at finish)
+  std::uint32_t dropped_ = 0;
+};
+
+// ---- thread-local context ------------------------------------------------
+//
+// Deep layers (ResultCache, CacheManager) annotate the span that is
+// currently open on this thread without their signatures knowing about
+// tracing. The owner of a Collector installs it with a ContextGuard; a
+// ScopedSpan then nests beneath whatever span is current.
+
+struct Context {
+  Collector* collector = nullptr;
+  std::uint32_t parent = 0;
+};
+
+[[nodiscard]] Context current() noexcept;
+
+/// RAII: installs `ctx` as this thread's context, restores the previous
+/// one on destruction. BatchServer workers install their job's context.
+class ContextGuard {
+ public:
+  explicit ContextGuard(Context ctx) noexcept;
+  ~ContextGuard();
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  Context prev_;
+};
+
+/// RAII span under the current thread-local context: opens a child of the
+/// current parent, becomes the current parent itself, closes and restores
+/// on destruction. A no-op (one TLS load) when no context is installed.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void annotate(std::string_view key, std::string_view value);
+  void annotate(std::string_view key, std::uint64_t value);
+
+ private:
+  Collector* collector_;
+  std::uint32_t span_ = 0;
+  Context prev_;
+};
+
+/// Annotates the span currently open on this thread (the innermost
+/// ScopedSpan / the installed parent); no-op without a context. This is
+/// how ResultCache reports hit/miss/rejected and CacheManager reports
+/// evictions into the span that wrapped the call.
+void annotate_current(std::string_view key, std::string_view value);
+void annotate_current(std::string_view key, std::uint64_t value);
+
+// ---- the retention sink --------------------------------------------------
+
+struct SinkOptions {
+  std::size_t recent_slots = 128;        ///< last-N ring
+  std::size_t slowest_per_endpoint = 8;  ///< reservoir size K
+  /// Byte budget per slot; a trace whose encoding exceeds it keeps its
+  /// earliest spans and counts the rest into dropped_spans.
+  std::size_t slot_bytes = 16 * 1024;
+};
+
+/// Server-wide retention: the last N completed traces plus the slowest K
+/// per endpoint. publish() is called once per completed job; readers
+/// (GET /tracez) decode slots without taking any writer-side lock.
+///
+/// Concurrency: every slot is an array of relaxed-atomic words stamped
+/// with a seqlock sequence. Writers claim a slot's stamp with a CAS to an
+/// odd value, copy the encoded trace word-by-word, then release-store the
+/// even successor; readers copy the words between two stamp loads and
+/// discard the copy unless both loads agree on an even value. Slot
+/// assignment is a single fetch_add on the ring head, so concurrent
+/// publishers collide on one slot only after lapping the whole ring
+/// mid-write — and then the stamp CAS makes the late writer spin, never
+/// tear. The slowest-K tables serialize *writers* through a small mutex
+/// (publication is per job, not per span); their readers use the same
+/// lock-free slot protocol.
+class TraceSink {
+ public:
+  explicit TraceSink(SinkOptions opts = {});
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void publish(const Trace& t);
+
+  /// Decoded retained traces, newest first. Size <= recent_slots.
+  [[nodiscard]] std::vector<Trace> recent() const;
+  /// Per endpoint (sorted by name), the retained slowest traces, slowest
+  /// first. Size of each <= slowest_per_endpoint.
+  [[nodiscard]] std::vector<std::pair<std::string, std::vector<Trace>>>
+  slowest() const;
+
+  [[nodiscard]] std::uint64_t published_total() const noexcept {
+    return published_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const SinkOptions& options() const noexcept { return opts_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 = never written; odd = busy
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+  };
+  struct SlowTable {
+    std::mutex writer_mu;
+    std::vector<Slot> slots;
+    /// Duration per slot, 0 = empty. The fast reject path (full table,
+    /// new trace no slower than the floor) reads `floor` only.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> durations;
+    std::atomic<std::uint64_t> floor{0};  ///< min duration once full
+    std::atomic<std::size_t> filled{0};
+  };
+
+  void write_slot(Slot& slot, const std::string& encoded) const;
+  [[nodiscard]] bool read_slot(const Slot& slot, std::string& out) const;
+  SlowTable& table_for(const std::string& endpoint);
+
+  SinkOptions opts_;
+  std::size_t words_per_slot_;
+  std::vector<Slot> ring_;
+  std::atomic<std::uint64_t> head_{0};       ///< next ring slot (mod size)
+  std::atomic<std::uint64_t> published_{0};  ///< also the publish stamp
+  mutable std::mutex tables_mu_;  ///< guards the map, never the slots
+  std::map<std::string, std::unique_ptr<SlowTable>> tables_;
+};
+
+// ---- encoding & rendering ------------------------------------------------
+
+/// Compact binary encoding of a trace, truncated to `max_bytes` (whole
+/// spans only; the cut count lands in dropped_spans). `stamp` orders
+/// decoded traces newest-first. Exposed for the torn-read tests.
+std::string encode_trace(const Trace& t, std::uint64_t stamp,
+                         std::size_t max_bytes);
+/// Strict inverse; false on any truncation or length inconsistency (a
+/// torn slot copy must never decode). `stamp_out` may be null.
+bool decode_trace(std::string_view bytes, Trace& out,
+                  std::uint64_t* stamp_out);
+
+/// "12.345ms" — fixed sub-ms precision so columns align in /tracez.
+std::string format_duration_ms(std::uint64_t ns);
+
+/// The indented text tree of one trace:
+///   trace 42 endpoint=submit start=2026-08-09T12:34:56Z duration=18.402ms
+///     recv            0.031ms
+///     queue-wait      2.114ms
+///     lane-execute   15.902ms
+///       cache-lookup  0.019ms seed=1 outcome=hit
+///     respond         0.287ms
+std::string render_trace_tree(const Trace& t);
+
+/// Top-level spans flattened to one logfmt-friendly token:
+/// "recv=0.031ms queue-wait=2.114ms lane-execute=15.902ms" — the
+/// slow_job log line's span breakdown.
+std::string flatten_spans(const Trace& t);
+
+/// The whole GET /tracez page: recent traces (newest first), then the
+/// slowest-K reservoir per endpoint.
+std::string render_tracez(const TraceSink& sink);
+
+}  // namespace distapx::trace

@@ -14,6 +14,7 @@
 #include "net/socket.hpp"
 #include "support/fdio.hpp"
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace distapx::net {
 namespace {
@@ -77,6 +78,88 @@ TEST(AdminHttp, UnknownRouteBadMethodAndGarbageGetClassified) {
             "HTTP/1.0 405 Method Not Allowed");
   EXPECT_EQ(status_line(admin_handle_request("garbage\r\n\r\n", reg)),
             "HTTP/1.0 400 Bad Request");
+}
+
+TEST(AdminHttp, StatuszRendersBuildStatusFieldsAndProcessGauges) {
+  metrics::Registry reg;
+  reg.gauge("ready").set(1);
+  reg.gauge("connections_open").set(3);
+  reg.float_gauge("process_cpu_seconds_total").set(1.25);
+  reg.gauge("process_max_rss_bytes").set(123456);
+
+  std::vector<std::pair<std::string, std::string>> fields = {
+      {"mode", "socket"}, {"cache_dir", "(none)"}};
+  AdminContext ctx;
+  ctx.status_fields = &fields;
+  ctx.start_time = std::chrono::steady_clock::now();
+  const std::string resp =
+      admin_handle_request("GET /statusz HTTP/1.0\r\n\r\n", reg, ctx);
+  EXPECT_EQ(status_line(resp), "HTTP/1.0 200 OK");
+  const std::string body = body_of(resp);
+  EXPECT_NE(body.find("uptime_seconds"), std::string::npos);
+  EXPECT_NE(body.find("mode: socket"), std::string::npos);
+  EXPECT_NE(body.find("cache_dir: (none)"), std::string::npos);
+  EXPECT_NE(body.find("ready: 1"), std::string::npos);
+  EXPECT_NE(body.find("connections_open: 3"), std::string::npos);
+  EXPECT_NE(body.find("process_cpu_seconds_total"), std::string::npos);
+  EXPECT_NE(body.find("process_max_rss_bytes: 123456"), std::string::npos);
+}
+
+TEST(AdminHttp, VarsRendersCountersFloatsAndRecentQuantiles) {
+  metrics::Registry reg;
+  reg.counter("results_ok_total").inc(7);
+  reg.float_gauge("process_cpu_seconds_total").set(0.5);
+  metrics::Histogram& lat =
+      reg.histogram("job_latency_ms", metrics::default_latency_buckets_ms());
+  for (int i = 0; i < 100; ++i) lat.observe(10.0);
+
+  const std::string resp =
+      admin_handle_request("GET /vars HTTP/1.0\r\n\r\n", reg, AdminContext{});
+  EXPECT_EQ(status_line(resp), "HTTP/1.0 200 OK");
+  const std::string body = body_of(resp);
+  EXPECT_NE(body.find("results_ok_total 7"), std::string::npos);
+  EXPECT_NE(body.find("process_cpu_seconds_total"), std::string::npos);
+  EXPECT_NE(body.find("job_latency_ms_count 100"), std::string::npos);
+  EXPECT_NE(body.find("job_latency_ms_p95"), std::string::npos);
+  EXPECT_NE(body.find("job_latency_ms_recent_count 100"), std::string::npos);
+  EXPECT_NE(body.find("job_latency_ms_recent_p99"), std::string::npos);
+}
+
+TEST(AdminHttp, TracezRendersSinkOrExplainsItsAbsence) {
+  metrics::Registry reg;
+  // No sink attached: the page says so instead of 404ing, so operators
+  // can tell "no traces yet" from "wrong URL".
+  std::string resp =
+      admin_handle_request("GET /tracez HTTP/1.0\r\n\r\n", reg, AdminContext{});
+  EXPECT_EQ(status_line(resp), "HTTP/1.0 200 OK");
+  EXPECT_NE(body_of(resp).find("not attached"), std::string::npos);
+
+  trace::TraceSink sink;
+  trace::Collector c(42, "submit");
+  const std::uint32_t s = c.begin("lane-execute");
+  c.end(s);
+  sink.publish(c.finish());
+  AdminContext ctx;
+  ctx.sink = &sink;
+  resp = admin_handle_request("GET /tracez HTTP/1.0\r\n\r\n", reg, ctx);
+  EXPECT_EQ(status_line(resp), "HTTP/1.0 200 OK");
+  const std::string body = body_of(resp);
+  EXPECT_NE(body.find("trace 42"), std::string::npos);
+  EXPECT_NE(body.find("lane-execute"), std::string::npos);
+}
+
+TEST(AdminHttp, LegacyTwoArgOverloadStillRoutes) {
+  metrics::Registry reg;
+  reg.counter("x_total").inc(1);
+  EXPECT_EQ(status_line(admin_handle_request("GET /statusz HTTP/1.0\r\n\r\n",
+                                             reg)),
+            "HTTP/1.0 200 OK");
+  EXPECT_EQ(status_line(admin_handle_request("GET /vars HTTP/1.0\r\n\r\n",
+                                             reg)),
+            "HTTP/1.0 200 OK");
+  EXPECT_EQ(status_line(admin_handle_request("GET /tracez HTTP/1.0\r\n\r\n",
+                                             reg)),
+            "HTTP/1.0 200 OK");
 }
 
 /// One blocking HTTP/1.0 exchange against a live admin endpoint.

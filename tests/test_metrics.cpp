@@ -178,6 +178,69 @@ TEST(MetricsConcurrency, ParallelUpdatesNeverLoseCounts) {
             static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(Metrics, FloatGaugeRegistersSnapshotsAndRenders) {
+  Registry reg;
+  reg.float_gauge("process_cpu_seconds_total").set(1.5);
+  EXPECT_EQ(&reg.float_gauge("process_cpu_seconds_total"),
+            &reg.float_gauge("process_cpu_seconds_total"));
+  const Snapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.float_or("process_cpu_seconds_total"), 1.5);
+  EXPECT_DOUBLE_EQ(snap.float_or("absent", 9.25), 9.25);
+  const std::string rendered = render_prometheus(snap);
+  EXPECT_NE(rendered.find("# TYPE distapx_process_cpu_seconds_total gauge"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("distapx_process_cpu_seconds_total 1.5"),
+            std::string::npos);
+}
+
+TEST(Metrics, RefreshHookRunsBeforeEverySnapshot) {
+  Registry reg;
+  int calls = 0;
+  reg.set_refresh_hook([&reg, &calls] {
+    ++calls;
+    reg.gauge("sampled").set(calls);
+  });
+  EXPECT_EQ(reg.snapshot().gauge_or("sampled"), 1);
+  EXPECT_EQ(reg.snapshot().gauge_or("sampled"), 2);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Metrics, HistogramRecentWindowsRotateAndExpire) {
+  Histogram h({1, 10, 100});
+  const double win = h.window_seconds();
+  for (int i = 0; i < 8; ++i) h.observe(5.0);
+
+  // Inside the first window: everything is recent.
+  EXPECT_EQ(h.recent(0.0).count, 8u);
+  // One window later the observations sit in the "other" window and are
+  // still reported (recent = last one-to-two windows).
+  EXPECT_EQ(h.recent(win + 1).count, 8u);
+  h.observe(5.0);
+  EXPECT_EQ(h.recent(win + 1).count, 9u);
+  // Two windows with no observations: the old ones age out entirely.
+  EXPECT_EQ(h.recent(3 * win + 2).count, 0u);
+  // The cumulative view never expires.
+  EXPECT_EQ(h.snapshot().count, 9u);
+  // Recent snapshots support quantiles (sum stays 0 by contract).
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  const HistogramSnapshot recent = h.recent(3 * win + 2);
+  EXPECT_EQ(recent.count, 10u);
+  EXPECT_EQ(recent.sum, 0.0);
+  const double p50 = recent.quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 10.0);
+}
+
+TEST(Metrics, SnapshotCarriesRecentHistogramView) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat_ms", {1, 10, 100});
+  for (int i = 0; i < 4; ++i) h.observe(2.0);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].hist.count, 4u);
+  EXPECT_EQ(snap.histograms[0].recent.count, 4u);
+}
+
 TEST(MetricsConcurrency, RegistrationRacesResolveToOneInstance) {
   Registry reg;
   constexpr int kThreads = 8;

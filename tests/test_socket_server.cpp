@@ -37,6 +37,7 @@
 #include "service/socket_server.hpp"
 #include "support/changelog.hpp"
 #include "support/fdio.hpp"
+#include "support/trace.hpp"
 #include "test_helpers.hpp"
 
 namespace distapx {
@@ -643,6 +644,86 @@ TEST(SocketServer, MaxRequestsBoundsTheRunAndStillAnswersTheLastSubmit) {
   EXPECT_TRUE(client.submit(kJobs).ok);
   EXPECT_TRUE(client.submit(kJobs).ok);  // the drain-triggering request
   EXPECT_TRUE(fixture.wait_done()) << "run() did not return at max_requests";
+}
+
+TEST(SocketServer, TracedSubmitEchoesTheSpanTreeWithIdenticalResultBytes) {
+  const net::ResultPayload reference = direct_reference(kJobs);
+  ServerFixture fixture;
+  net::Client client = net::Client::connect(fixture.endpoint());
+  const net::SubmitOutcome traced = client.submit_traced(kJobs);
+  ASSERT_TRUE(traced.ok) << traced.error;
+  // The determinism contract survives the trace echo: result bytes are
+  // exactly the plain-SUBMIT (and direct batch) bytes.
+  EXPECT_EQ(traced.result.runs_csv, reference.runs_csv);
+  EXPECT_EQ(traced.result.summary_csv, reference.summary_csv);
+  ASSERT_FALSE(traced.trace_txt.empty());
+  for (const char* name : {"trace 1", "endpoint=submit", "recv",
+                           "queue-wait", "lane-execute", "compute"}) {
+    EXPECT_NE(traced.trace_txt.find(name), std::string::npos)
+        << "missing span " << name << " in:\n"
+        << traced.trace_txt;
+  }
+  // A plain submit on the same connection still answers with a bare
+  // RESULT (no trace text), and the same bytes.
+  const net::SubmitOutcome plain = client.submit(kJobs);
+  ASSERT_TRUE(plain.ok) << plain.error;
+  EXPECT_EQ(plain.result.runs_csv, reference.runs_csv);
+  EXPECT_TRUE(plain.trace_txt.empty());
+}
+
+TEST(SocketServer, CompletedSubmitsArePublishedIntoTheTraceSink) {
+  trace::TraceSink sink;
+  ServerFixture fixture(
+      [&](service::SocketServerOptions& o) { o.trace_sink = &sink; });
+  net::Client client = net::Client::connect(fixture.endpoint());
+  ASSERT_TRUE(client.submit(kJobs).ok);
+  ASSERT_TRUE(client.submit_traced(kJobs).ok);
+  // Publication happens when the respond bytes flush; the client holding
+  // both responses means the flush already ran, but give the server a
+  // beat under sanitizer schedulers.
+  for (int waited = 0; sink.published_total() < 2 && waited < 5000;
+       waited += 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(sink.published_total(), 2u);
+  const std::vector<trace::Trace> recent = sink.recent();
+  ASSERT_EQ(recent.size(), 2u);
+  // Newest first: the traced submit (#2), then the plain one (#1) —
+  // both carry the full span set including the closed respond span.
+  EXPECT_EQ(recent[0].id, 2u);
+  EXPECT_EQ(recent[1].id, 1u);
+  for (const trace::Trace& t : recent) {
+    EXPECT_EQ(t.endpoint, "submit");
+    bool saw_respond_closed = false;
+    for (const trace::Span& s : t.spans) {
+      if (s.name == "respond" && s.end_ns != 0) saw_respond_closed = true;
+    }
+    EXPECT_TRUE(saw_respond_closed) << trace::render_trace_tree(t);
+  }
+}
+
+TEST(SocketServer, TracingDisabledStillAnswersATraceRequest) {
+  // The kill switch stops ambient collection; an explicit SUBMITTRACE is
+  // a client contract and must keep working.
+  trace::set_enabled(false);
+  trace::TraceSink sink;
+  ServerFixture fixture(
+      [&](service::SocketServerOptions& o) { o.trace_sink = &sink; });
+  net::Client client = net::Client::connect(fixture.endpoint());
+  const net::SubmitOutcome plain = client.submit(kJobs);
+  ASSERT_TRUE(plain.ok);
+  const net::SubmitOutcome traced = client.submit_traced(kJobs);
+  trace::set_enabled(true);
+  ASSERT_TRUE(traced.ok) << traced.error;
+  EXPECT_FALSE(traced.trace_txt.empty());
+  EXPECT_EQ(traced.result.runs_csv, plain.result.runs_csv);
+  // Only the explicitly requested trace was built (and published). The
+  // publish lands a beat after the client holds the response bytes.
+  for (int waited = 0; sink.published_total() < 1 && waited < 5000;
+       waited += 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(sink.published_total(), 1u);
 }
 
 TEST(SocketServer, TcpEphemeralPortOnLocalhostServes) {

@@ -10,14 +10,15 @@
 //   distapx_cli serve <spool-dir> [--cache-dir DIR] [--cache-budget SIZE]
 //                     [--threads N] [--poll-ms M] [--max-files K] [--once]
 //                     [--durability none|full] [--admin ADDR]
-//                     [--log-level LEVEL]
+//                     [--log-level LEVEL] [--slow-ms M]
 //   distapx_cli serve --listen <path|host:port> [--cache-dir DIR]
 //                     [--cache-budget SIZE] [--journal PATH] [--threads N]
 //                     [--lanes N] [--max-requests K] [--idle-timeout-ms M]
 //                     [--no-remote-shutdown] [--durability none|full]
-//                     [--admin ADDR] [--log-level LEVEL]
+//                     [--admin ADDR] [--log-level LEVEL] [--slow-ms M]
 //   distapx_cli submit <path|host:port> <jobfile> [--summary F] [--runs F]
-//                     [--report F] [--connect-timeout-ms M] [--quiet]
+//                     [--report F] [--connect-timeout-ms M] [--trace]
+//                     [--quiet]
 //   distapx_cli submit <path|host:port> {--ping | --stats | --shutdown}
 //   distapx_cli loadgen <path|host:port> <jobfile> [--clients K]
 //                     [--repeat R] [--pipeline P] [--connect-timeout-ms M]
@@ -86,7 +87,9 @@
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/parse.hpp"
+#include "support/procstat.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 using namespace distapx;
 
@@ -291,13 +294,18 @@ void apply_log_level(const std::string& spec) {
 /// endpoint on `registry` and prints the bound address ("admin on ...",
 /// the line CI scrapes for the ephemeral port). `admin` must be declared
 /// after the registry and server it observes, so it stops first.
-void start_admin(const std::string& addr, metrics::Registry& registry,
-                 std::optional<net::AdminServer>& admin) {
+void start_admin(
+    const std::string& addr, metrics::Registry& registry,
+    std::optional<net::AdminServer>& admin,
+    const trace::TraceSink* trace_sink = nullptr,
+    std::vector<std::pair<std::string, std::string>> status_fields = {}) {
   if (addr.empty()) return;
   try {
     net::AdminOptions aopts;
     aopts.endpoint = addr;
     aopts.registry = &registry;
+    aopts.trace_sink = trace_sink;
+    aopts.status_fields = std::move(status_fields);
     admin.emplace(std::move(aopts));
     admin->start();
   } catch (const std::exception& e) {
@@ -448,7 +456,8 @@ int run_serve(int argc, char** argv) {
       .toggle("--once", &once)
       .str("--durability", "LEVEL", &durability)
       .str("--admin", "ADDR", &admin_addr)
-      .str("--log-level", "LEVEL", &log_level);
+      .str("--log-level", "LEVEL", &log_level)
+      .uint("--slow-ms", "M", &opts.slow_ms, 1u << 30);
   flags.parse(arg_rest(argc, argv, 3));
   apply_log_level(log_level);
   apply_durability(durability);
@@ -457,7 +466,11 @@ int run_serve(int argc, char** argv) {
   // declared before the daemon and admin endpoint that borrow it.
   metrics::Registry registry;
   const FsyncCounterScope fsync_scope(registry);
+  procstat::install_process_metrics(registry);
   opts.registry = &registry;
+  // Per-file traces land here; /tracez renders them.
+  trace::TraceSink trace_sink;
+  opts.trace_sink = &trace_sink;
   std::optional<service::Daemon> daemon;
   try {
     daemon.emplace(opts);
@@ -465,7 +478,12 @@ int run_serve(int argc, char** argv) {
     usage_error(e.what());
   }
   std::optional<net::AdminServer> admin;
-  start_admin(admin_addr, registry, admin);
+  start_admin(admin_addr, registry, admin, &trace_sink,
+              {{"mode", "spool"},
+               {"spool_dir", opts.spool_dir},
+               {"cache_dir",
+                opts.cache_dir.empty() ? "(none)" : opts.cache_dir},
+               {"durability", durability.empty() ? "full" : durability}});
   std::cout << "serving spool " << opts.spool_dir
             << (opts.cache_dir.empty() ? std::string(" (no cache)")
                                        : " (cache " + opts.cache_dir + ")")
@@ -532,7 +550,8 @@ int run_serve_socket(int argc, char** argv) {
       .toggle("--no-remote-shutdown", &opts.allow_remote_shutdown, false)
       .str("--durability", "LEVEL", &durability)
       .str("--admin", "ADDR", &admin_addr)
-      .str("--log-level", "LEVEL", &log_level);
+      .str("--log-level", "LEVEL", &log_level)
+      .uint("--slow-ms", "M", &opts.slow_ms, 1u << 30);
   flags.parse(rest);
   apply_log_level(log_level);
   apply_durability(durability);
@@ -541,7 +560,12 @@ int run_serve_socket(int argc, char** argv) {
   // servers; the admin endpoint scrapes all of it from one page.
   metrics::Registry registry;
   const FsyncCounterScope fsync_scope(registry);
+  procstat::install_process_metrics(registry);
   opts.registry = &registry;
+  // Per-SUBMIT traces land here; /tracez renders them. Declared before
+  // the server so it outlives run().
+  trace::TraceSink trace_sink;
+  opts.trace_sink = &trace_sink;
   std::optional<service::SocketServer> server;
   try {
     opts.endpoint = net::parse_endpoint(listen_addr);
@@ -550,7 +574,16 @@ int run_serve_socket(int argc, char** argv) {
     usage_error(e.what());
   }
   std::optional<net::AdminServer> admin;
-  start_admin(admin_addr, registry, admin);
+  const service::SocketServerOptions& sopts = server->options();
+  start_admin(admin_addr, registry, admin, &trace_sink,
+              {{"mode", "socket"},
+               {"endpoint", server->endpoint().to_string()},
+               {"lanes", std::to_string(sopts.lanes)},
+               {"cache_dir",
+                sopts.cache_dir.empty() ? "(none)" : sopts.cache_dir},
+               {"journal",
+                sopts.journal_path.empty() ? "(none)" : sopts.journal_path},
+               {"durability", durability.empty() ? "full" : durability}});
   g_socket_server.store(&*server);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
@@ -577,6 +610,15 @@ int run_serve_socket(int argc, char** argv) {
             << "cache_hits " << stats.cache_hits << "\n"
             << "computed " << stats.computed << "\n"
             << "jobs_dropped " << stats.jobs_dropped << "\n";
+  // Recent-window latency quantiles (last ~1-2 min of the run) next to
+  // the lifetime counters, from the same registry the admin page reads.
+  for (const auto& h : registry.snapshot().histograms) {
+    if (h.recent.count == 0) continue;
+    std::cout << h.name << " recent_p50=" << Table::fmt(h.recent.quantile(0.5), 3)
+              << " recent_p95=" << Table::fmt(h.recent.quantile(0.95), 3)
+              << " recent_p99=" << Table::fmt(h.recent.quantile(0.99), 3)
+              << "\n";
+  }
   return 0;
 }
 
@@ -604,11 +646,13 @@ int run_submit(int argc, char** argv) {
   // appears" dance from every script that starts a server.
   std::uint32_t connect_timeout_ms = 5000;
   bool quiet = false;
+  bool want_trace = false;
   FlagSet flags("submit", "submit <path|host:port> <jobfile>");
   flags.str("--summary", "F", &summary_file)
       .str("--runs", "F", &runs_file)
       .str("--report", "F", &report_file)
       .uint("--connect-timeout-ms", "M", &connect_timeout_ms, 1u << 30)
+      .toggle("--trace", &want_trace)
       .toggle("--quiet", &quiet);
   flags.parse(arg_rest(argc, argv, 4));
 
@@ -638,12 +682,16 @@ int run_submit(int argc, char** argv) {
     if (!is) usage_error("cannot read job file " + job_arg);
     std::ostringstream job_text;
     job_text << is.rdbuf();
-    const auto outcome = client.submit(job_text.str());
+    const auto outcome = want_trace ? client.submit_traced(job_text.str())
+                                    : client.submit(job_text.str());
     if (!outcome.ok) {
       std::cerr << "error: " << job_arg << ": " << outcome.error << "\n";
       return 1;
     }
     if (!quiet) std::cout << outcome.result.report_txt;
+    // The server-side span tree (SUBMITTRACE echo) goes to stderr so
+    // redirecting stdout still captures exactly the report bytes.
+    if (want_trace) std::cerr << outcome.trace_txt;
     write_text_or_die(summary_file, outcome.result.summary_csv);
     write_text_or_die(runs_file, outcome.result.runs_csv);
     write_text_or_die(report_file, outcome.result.report_txt);
